@@ -1,0 +1,74 @@
+"""Benchmark harness support.
+
+Every benchmark regenerates one of the paper's tables or figures, prints
+it in a paper-like layout, saves the raw series under
+``benchmarks/results/``, and asserts the *shape* criteria from DESIGN.md
+(who wins, by roughly what factor, where crossovers fall) -- never the
+absolute numbers, which belonged to 2005 hardware.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only -s
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+class FigureReport:
+    """Collects one figure's rows, prints them, and persists them."""
+
+    def __init__(self, figure_id: str, title: str):
+        self.figure_id = figure_id
+        self.title = title
+        self.lines: list[str] = []
+        self.data: dict = {}
+
+    def header(self, text: str) -> None:
+        self.lines.append("")
+        self.lines.append(text)
+        self.lines.append("-" * len(text))
+
+    def row(self, text: str) -> None:
+        self.lines.append(text)
+
+    def series(self, name: str, values) -> None:
+        self.data[name] = values
+
+    def emit(self) -> None:
+        banner = f"=== {self.figure_id}: {self.title} ==="
+        print()
+        print(banner)
+        for line in self.lines:
+            print(line)
+        os.makedirs(RESULTS_DIR, exist_ok=True)
+        base = os.path.join(RESULTS_DIR, self.figure_id.lower().replace(" ", "_"))
+        with open(base + ".json", "w") as f:
+            json.dump({"title": self.title, "data": self.data}, f, indent=2, default=str)
+        with open(base + ".txt", "w") as f:
+            f.write(banner + "\n" + "\n".join(self.lines) + "\n")
+
+
+@pytest.fixture()
+def figure():
+    """Factory for FigureReports that auto-emit at teardown."""
+    reports: list[FigureReport] = []
+
+    def make(figure_id: str, title: str) -> FigureReport:
+        report = FigureReport(figure_id, title)
+        reports.append(report)
+        return report
+
+    yield make
+    for report in reports:
+        report.emit()
+
+
+def us(seconds: float) -> str:
+    return f"{seconds * 1e6:10.1f} us"

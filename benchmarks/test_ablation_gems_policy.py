@@ -1,0 +1,70 @@
+"""Ablation: GEMS budget-greedy replication vs a fixed copy count.
+
+DESIGN.md calls out the replication policy as a design choice worth
+ablating.  The budget policy buys the *most* copies the space allows and
+degrades gracefully; a fixed-count policy either under-uses the space
+(count too low) or would overrun it (count too high).  Both run through
+the same Figure 9 scenario.
+"""
+
+from repro.gems.policy import BudgetGreedyPolicy, FixedCountPolicy
+from repro.sim.gems_sim import GemsSimulation
+from repro.sim.params import GB
+
+BUDGET = int(40 * GB)
+SCENARIO = dict(
+    n_files=140,
+    file_bytes=100_000_000,
+    budget_bytes=BUDGET,
+    n_servers=30,
+    failures=((1800.0, 5),),
+    duration=3600.0,
+)
+
+
+def run_policy(policy):
+    sim = GemsSimulation(policy=policy, **SCENARIO)
+    sim.run()
+    return sim
+
+
+def compute_ablation():
+    return {
+        "budget-greedy(40GB)": run_policy(BudgetGreedyPolicy(BUDGET)),
+        "fixed-count(2)": run_policy(FixedCountPolicy(2)),
+        "fixed-count(3)": run_policy(FixedCountPolicy(3)),
+    }
+
+
+def test_ablation_gems_policy(benchmark, figure):
+    sims = benchmark.pedantic(compute_ablation, rounds=1, iterations=1)
+
+    report = figure(
+        "Ablation GEMS policy", "Replication policies through a 5-disk failure"
+    )
+    report.header(f"{'policy':<22} {'peak GB':>8} {'dip GB':>8} {'final GB':>9} {'survivors':>10}")
+    stats = {}
+    for name, sim in sims.items():
+        peak = max(p.stored_bytes for p in sim.timeline) / GB
+        dip = sim.min_after(1800.0, window=600.0)
+        final = sim.timeline[-1].stored_bytes / GB
+        survivors = sum(1 for r in sim.records if r.actual)
+        stats[name] = (peak, dip, final, survivors)
+        report.row(
+            f"{name:<22} {peak:8.1f} {dip:8.1f} {final:9.1f} {survivors:>7}/140"
+        )
+        report.series(name, {"peak_gb": peak, "dip_gb": dip, "final_gb": final})
+
+    budget_peak = stats["budget-greedy(40GB)"][0]
+    fixed2_peak = stats["fixed-count(2)"][0]
+    fixed3_peak = stats["fixed-count(3)"][0]
+    # budget-greedy uses the headroom fixed-count(2) leaves on the table
+    assert budget_peak > fixed2_peak
+    # fixed-count(2) respects 28 GB; fixed-count(3) wants 42 GB > budget:
+    # the policy simply has no notion of the user's space limit
+    assert fixed2_peak <= 28.01
+    assert fixed3_peak > 40.0
+    # all policies keep at least two copies' worth after recovery
+    for name, (_, _, final, survivors) in stats.items():
+        assert final >= 27.0
+        assert survivors >= 0.95 * 140

@@ -1,0 +1,46 @@
+"""Figure 4: I/O call latency over 1 Gb/s Ethernet.
+
+Paper: Parrot+CFS vs kernel NFS (caching off) vs Parrot+DSFS.  "Note
+that Parrot-based CFS generally has lower latency than kernel-based NFS.
+DSFS has slower stat and open calls because stub file lookups require
+multiple round trips."
+"""
+
+from repro.sim.stacks import CfsStack, DsfsStack, NfsStack, ParrotLocalStack, UnixStack
+
+from conftest import us
+
+CALLS = ("stat", "open_close", "read_8k", "write_8k")
+
+
+def compute_figure():
+    cfs, nfs, dsfs = CfsStack(), NfsStack(), DsfsStack()
+    return {name: (cfs.op(name), nfs.op(name), dsfs.op(name)) for name in CALLS}
+
+
+def test_fig4_io_latency(benchmark, figure):
+    rows = benchmark.pedantic(compute_figure, rounds=1, iterations=1)
+
+    report = figure("Figure 4", "I/O Call Latency over 1 GbE")
+    report.header(f"{'call':<12} {'parrot+cfs':>13} {'unix+nfs':>13} {'parrot+dsfs':>13}")
+    for name, (cfs_t, nfs_t, dsfs_t) in rows.items():
+        report.row(f"{name:<12} {us(cfs_t)} {us(nfs_t)} {us(dsfs_t)}")
+        report.series(name, {"cfs_s": cfs_t, "nfs_s": nfs_t, "dsfs_s": dsfs_t})
+
+    unix, parrot = UnixStack(), ParrotLocalStack()
+    for name in CALLS:
+        cfs_t, nfs_t, dsfs_t = rows[name]
+        # network latency outweighs the trap by another order of magnitude
+        trap = parrot.op(name) - unix.op(name)
+        assert cfs_t >= 5 * trap
+        # DSFS matches CFS on the data path exactly
+        if name in ("read_8k", "write_8k"):
+            assert dsfs_t == cfs_t
+
+    # CFS beats NFS on metadata (no per-component lookups) and 8 KB write
+    assert rows["stat"][0] < rows["stat"][1]
+    assert rows["open_close"][0] < rows["open_close"][1]
+    assert rows["write_8k"][0] < rows["write_8k"][1]
+    # DSFS metadata costs about twice CFS
+    assert 1.3 <= rows["stat"][2] / rows["stat"][0] <= 3.0
+    assert 1.3 <= rows["open_close"][2] / rows["open_close"][0] <= 3.0

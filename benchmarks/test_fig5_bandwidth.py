@@ -1,0 +1,62 @@
+"""Figure 5: single-client bandwidth vs application block size.
+
+Paper: copy 16 MB at each block size.  "The Unix case shows the upper
+bound of 798 MB/s ... The same copy through Parrot peaks at 431 MB/s,
+due to the extra data copy ... Parrot+CFS is able to use 80 MB/s [of the
+1 Gb/s link].  Finally, Unix+NFS is only able to obtain 10 MB/s due to
+the request-response nature of the protocol."
+"""
+
+from repro.sim.params import MB
+from repro.sim.stacks import (
+    CfsStack,
+    NfsStack,
+    ParrotLocalStack,
+    UnixStack,
+    bandwidth_curve,
+)
+
+BLOCKS = [2**i for i in range(0, 24)]  # 1 B .. 8 MiB
+
+
+def compute_figure():
+    stacks = {
+        "unix": UnixStack(),
+        "parrot": ParrotLocalStack(),
+        "parrot+cfs": CfsStack(),
+        "unix+nfs": NfsStack(),
+    }
+    return {
+        name: bandwidth_curve(stack, BLOCKS, total_bytes=16 * MB)
+        for name, stack in stacks.items()
+    }
+
+
+def test_fig5_bandwidth(benchmark, figure):
+    curves = benchmark.pedantic(compute_figure, rounds=1, iterations=1)
+
+    report = figure("Figure 5", "Single Client Bandwidth vs Block Size (MB/s)")
+    shown = [2**i for i in range(0, 24, 3)]
+    header = f"{'block':>9} " + " ".join(f"{n:>11}" for n in curves)
+    report.header(header)
+    for block in shown:
+        cells = " ".join(f"{curves[n][block]:11.2f}" for n in curves)
+        report.row(f"{block:>9} {cells}")
+    for name, curve in curves.items():
+        report.series(name, {str(k): v for k, v in curve.items()})
+
+    peaks = {name: max(curve.values()) for name, curve in curves.items()}
+    # ordering: local > trapped local > CFS over the wire > NFS
+    assert peaks["unix"] > peaks["parrot"] > peaks["parrot+cfs"] > peaks["unix+nfs"]
+    # rough anchor magnitudes from the paper (generous tolerance)
+    assert 600 <= peaks["unix"] <= 1000
+    assert 330 <= peaks["parrot"] <= 530
+    assert 60 <= peaks["parrot+cfs"] <= 100
+    assert 6 <= peaks["unix+nfs"] <= 14
+    # every curve rises monotonically-ish to its plateau
+    for name, curve in curves.items():
+        values = [curve[b] for b in BLOCKS]
+        assert values[0] < 0.1 * peaks[name]
+        assert values[-1] > 0.85 * peaks[name]
+    # NFS cannot exploit blocks beyond its RPC size
+    assert curves["unix+nfs"][2**23] < 1.2 * curves["unix+nfs"][4096]

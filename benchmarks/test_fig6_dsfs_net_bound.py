@@ -1,0 +1,52 @@
+"""Figure 6: DSFS scalability, net-bound regime.
+
+Paper: "128 files of 1 MB are stored in a DSFS with 1 to 8 servers.  In
+all configurations, all data fits in the server buffer caches.  One
+server can transmit at 100 MB/s, near the practical limit of TCP on a
+1 Gb port.  Multiple servers increase the total bandwidth, but are soon
+limited by the backplane of the inexpensive commodity switch [300 MB/s]."
+"""
+
+import pytest
+
+from repro.sim.dsfs_sim import run_scalability_sweep
+from repro.sim.params import MB, PAPER_PARAMS
+
+SERVERS = range(1, 9)
+
+
+def compute_figure():
+    return run_scalability_sweep(
+        n_files=128,
+        file_bytes=1 * MB,
+        server_counts=SERVERS,
+        duration=20.0,
+        warmup=10.0,
+    )
+
+
+def test_fig6_dsfs_net_bound(benchmark, figure):
+    results = benchmark.pedantic(compute_figure, rounds=1, iterations=1)
+
+    report = figure("Figure 6", "DSFS Scalability: Net-Bound (128 MB dataset)")
+    report.header(f"{'servers':>8} {'MB/s':>9} {'cache hit':>10}")
+    for r in results:
+        report.row(f"{r.n_servers:>8} {r.throughput_mb_s:9.1f} {r.cache_hit_rate:10.2f}")
+    report.series(
+        "throughput_mb_s", {r.n_servers: r.throughput_mb_s for r in results}
+    )
+
+    by_n = {r.n_servers: r.throughput_mb_s for r in results}
+    port = PAPER_PARAMS.port_bw / MB
+    backplane = PAPER_PARAMS.backplane_bw / MB
+    # one server saturates one port
+    assert by_n[1] == pytest.approx(port, rel=0.15)
+    # two servers roughly double
+    assert by_n[2] == pytest.approx(2 * port, rel=0.15)
+    # by three servers the backplane is the binding constraint...
+    assert by_n[3] >= 0.8 * backplane
+    # ...and adding more servers cannot exceed it
+    for n in range(3, 9):
+        assert by_n[n] <= 1.05 * backplane
+    # everything stayed cache-resident (the regime's defining property)
+    assert all(r.cache_hit_rate > 0.9 for r in results)

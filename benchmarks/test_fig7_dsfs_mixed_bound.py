@@ -1,0 +1,55 @@
+"""Figure 7: DSFS scalability, mixed-bound regime.
+
+Paper: "1280 files of 1 MB are stored in a DSFS with 1 to 8 servers.
+With one or two servers, not all data fits in the server buffer caches,
+and the system runs at disk speeds.  With three or more, the system is
+constrained only by the switch backplane."
+"""
+
+from repro.sim.dsfs_sim import run_scalability_sweep
+from repro.sim.params import MB, PAPER_PARAMS
+
+SERVERS = range(1, 9)
+
+
+def compute_figure():
+    return run_scalability_sweep(
+        n_files=1280,
+        file_bytes=1 * MB,
+        server_counts=SERVERS,
+        duration=30.0,
+        warmup=60.0,  # long enough for the >=3-server caches to warm up
+    )
+
+
+def test_fig7_dsfs_mixed_bound(benchmark, figure):
+    results = benchmark.pedantic(compute_figure, rounds=1, iterations=1)
+
+    report = figure("Figure 7", "DSFS Scalability: Mixed-Bound (1280 MB dataset)")
+    report.header(f"{'servers':>8} {'MB/s':>9} {'cache hit':>10} {'regime':>12}")
+    backplane = PAPER_PARAMS.backplane_bw / MB
+    for r in results:
+        regime = "disk-bound" if r.throughput_mb_s < 0.5 * backplane else "switch-bound"
+        report.row(
+            f"{r.n_servers:>8} {r.throughput_mb_s:9.1f} "
+            f"{r.cache_hit_rate:10.2f} {regime:>12}"
+        )
+    report.series(
+        "throughput_mb_s", {r.n_servers: r.throughput_mb_s for r in results}
+    )
+
+    by_n = {r.n_servers: r for r in results}
+    # 1-2 servers: data exceeds cache, so throughput is far below the
+    # network's ability -- the disk-bound regime
+    assert by_n[1].cache_hit_rate < 0.7
+    assert by_n[2].cache_hit_rate < 0.8
+    assert by_n[1].throughput_mb_s < 0.3 * backplane
+    assert by_n[2].throughput_mb_s < 0.5 * backplane
+    # the crossover: at 3 servers the dataset fits in aggregate cache and
+    # the system jumps to the switch ceiling
+    assert by_n[3].cache_hit_rate > 0.85
+    assert by_n[3].throughput_mb_s >= 0.8 * backplane
+    for n in range(3, 9):
+        assert by_n[n].throughput_mb_s <= 1.05 * backplane
+    # the jump from 2 to 3 servers is the figure's signature
+    assert by_n[3].throughput_mb_s >= 2.5 * by_n[2].throughput_mb_s

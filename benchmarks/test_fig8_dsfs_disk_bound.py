@@ -1,0 +1,52 @@
+"""Figure 8: DSFS scalability, disk-bound regime.
+
+Paper: "1280 files of 10 MB are stored in a DSFS with 1 to 8 servers.
+In all configurations, there is not enough buffer cache to keep the data
+in memory.  A single server is able to sustain 10 MB/s, the raw disk
+throughput.  As servers are added, the throughput increases roughly
+linearly with the number of servers."
+"""
+
+from repro.sim.dsfs_sim import run_scalability_sweep
+from repro.sim.params import MB, PAPER_PARAMS
+
+SERVERS = range(1, 9)
+
+
+def compute_figure():
+    return run_scalability_sweep(
+        n_files=1280,
+        file_bytes=10 * MB,
+        server_counts=SERVERS,
+        duration=60.0,
+        warmup=30.0,
+    )
+
+
+def test_fig8_dsfs_disk_bound(benchmark, figure):
+    results = benchmark.pedantic(compute_figure, rounds=1, iterations=1)
+
+    report = figure("Figure 8", "DSFS Scalability: Disk-Bound (12.8 GB dataset)")
+    report.header(f"{'servers':>8} {'MB/s':>9} {'MB/s per server':>16} {'cache hit':>10}")
+    for r in results:
+        report.row(
+            f"{r.n_servers:>8} {r.throughput_mb_s:9.1f} "
+            f"{r.throughput_mb_s / r.n_servers:16.1f} {r.cache_hit_rate:10.2f}"
+        )
+    report.series(
+        "throughput_mb_s", {r.n_servers: r.throughput_mb_s for r in results}
+    )
+
+    by_n = {r.n_servers: r for r in results}
+    disk = PAPER_PARAMS.disk_bw / MB
+    # a single server sustains roughly the raw disk rate
+    assert 0.7 * disk <= by_n[1].throughput_mb_s <= 1.8 * disk
+    # throughput grows ~linearly: each server adds about one disk's worth
+    for n in SERVERS:
+        per_server = by_n[n].throughput_mb_s / n
+        assert 0.7 * disk <= per_server <= 1.8 * disk
+    assert by_n[8].throughput_mb_s >= 6 * by_n[1].throughput_mb_s
+    # never near the network ceilings: the disks are the constraint
+    assert by_n[8].throughput_mb_s < 0.6 * PAPER_PARAMS.backplane_bw / MB
+    # and caches never hold the working set
+    assert all(r.cache_hit_rate < 0.45 for r in results)

@@ -1,0 +1,84 @@
+"""Figure 9: data preservation in the GEMS distributed shared database.
+
+Paper: "A modest data set of 14 GB is entered into GEMS for safekeeping.
+The user specifies that up to 40 GB of space may be used ... the
+replicator process then works to replicate the data until the storage
+limit has been reached.  At three points during the life of this run,
+three failures are induced by forcibly deleting data from one, five, and
+ten disks.  As the auditor process discovers the losses, the replicator
+brings the system back into a desired state."
+
+The planning code in this run is the production
+:class:`~repro.gems.policy.BudgetGreedyPolicy`; storage and time are
+simulated (see DESIGN.md).  A real-socket, small-scale version of the
+same story is asserted in ``tests/integration/test_dsdb_gems.py``.
+"""
+
+from repro.sim.gems_sim import GemsSimulation
+from repro.sim.params import GB
+
+DATASET_GB = 14.0
+BUDGET_GB = 40.0
+FAILURES = ((1800.0, 1), (2700.0, 5), (3600.0, 10))
+
+
+def compute_figure():
+    sim = GemsSimulation(
+        n_files=140,
+        file_bytes=100_000_000,  # 14 GB total
+        budget_bytes=int(BUDGET_GB * GB),
+        n_servers=30,
+        failures=FAILURES,
+        duration=5400.0,
+    )
+    sim.run()
+    return sim
+
+
+def test_fig9_gems_preservation(benchmark, figure):
+    sim = benchmark.pedantic(compute_figure, rounds=1, iterations=1)
+
+    report = figure("Figure 9", "Data Preservation in GEMS (GB stored vs time)")
+    report.header(f"{'t (s)':>8} {'stored GB':>10} {'events'}")
+    for pt in sim.timeline:
+        if pt.events or pt.time % 300 == 0:
+            interesting = [e for e in pt.events if not e.startswith("replicated")]
+            if interesting or pt.time % 300 == 0:
+                report.row(
+                    f"{pt.time:8.0f} {pt.stored_bytes / GB:10.2f} "
+                    f"{','.join(interesting)}"
+                )
+    report.series("stored_gb", sim.stored_series_gb())
+
+    # the dataset arrives with one copy...
+    assert sim.timeline[0].stored_bytes / GB == DATASET_GB
+    # ...and replication fills the budget before the first failure
+    pre_failure = sim.value_at(FAILURES[0][0] - sim.step)
+    assert pre_failure >= 0.97 * BUDGET_GB
+    # the budget is never exceeded
+    assert max(p.stored_bytes for p in sim.timeline) <= BUDGET_GB * GB * 1.001
+
+    # each induced failure dips the stored volume, deeper for more disks,
+    # and the auditor+replicator restore it
+    dips = []
+    for t, ndisks in FAILURES:
+        dip = sim.min_after(t, window=600.0)
+        dips.append((ndisks, dip))
+        assert dip < pre_failure  # visible dip
+        recovered = sim.value_at(t + 1700.0) if t + 1700 <= 5400 else sim.timeline[-1].stored_bytes / GB
+        assert recovered >= 0.95 * BUDGET_GB  # recovery
+    # more disks lost => deeper dip
+    assert dips[1][1] < dips[0][1]
+    assert dips[2][1] < dips[1][1]
+
+    # Survival: a single-disk failure can never destroy a file (replicas
+    # sit on distinct servers), and overall survival stays near-total.
+    # Full immunity to a *simultaneous ten-disk* failure would need >2
+    # copies of everything, which a 40 GB budget for 14 GB cannot buy --
+    # an honest property of the budget policy the figure's prose
+    # does not dwell on.
+    survivors = sum(1 for r in sim.records if r.actual)
+    report.row(f"survivors: {survivors}/{len(sim.records)} files")
+    assert survivors >= 0.95 * len(sim.records)
+    # every surviving file is re-protected (>= 2 copies) by the end
+    assert all(len(r.actual) >= 2 for r in sim.records if r.actual)

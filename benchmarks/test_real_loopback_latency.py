@@ -1,0 +1,215 @@
+"""Supplementary: live microbenchmarks of the actual implementation.
+
+The calibrated models regenerate the paper's 2005 curves; this file
+measures *our real code* over loopback TCP so the protocol-structure
+claims can be checked on living sockets, not just in a model:
+
+- Chirp needs one round trip where the NFS-like baseline needs
+  per-component lookups, so Chirp stat/open should be faster;
+- Chirp streams whole files over one connection while the baseline moves
+  4 KB per RPC, so Chirp bulk bandwidth should win by a wide margin;
+- interposition (our ptrace stand-in) slows local syscalls by a large
+  factor, mirroring Figure 3's order of magnitude.
+
+Absolute values depend on this machine; assertions are ordering-only.
+"""
+
+import os
+
+import getpass
+
+import pytest
+
+from repro.adapter.adapter import Adapter
+from repro.adapter.interpose import interposed
+from repro.auth.methods import AuthContext, ClientCredentials
+from repro.baselines.nfslike import NfsLikeClient, NfsLikeServer
+from repro.chirp.client import ChirpClient
+from repro.chirp.server import FileServer, ServerConfig
+
+PAYLOAD = b"x" * 8192
+BULK = b"y" * (4 * 1024 * 1024)
+
+
+@pytest.fixture(scope="module")
+def live(tmp_path_factory):
+    tmp = tmp_path_factory.mktemp("live")
+    (tmp / "chirp").mkdir()
+    (tmp / "nfs").mkdir()
+    challenge = tmp / "challenge"
+    challenge.mkdir()
+    auth = AuthContext(enabled=("unix",), unix_challenge_dir=str(challenge))
+    chirp_server = FileServer(
+        ServerConfig(root=str(tmp / "chirp"), owner=f"unix:{getpass.getuser()}", auth=auth)
+    ).start()
+    nfs_server = NfsLikeServer(str(tmp / "nfs")).start()
+    chirp = ChirpClient(
+        *chirp_server.address, credentials=ClientCredentials(methods=("unix",))
+    )
+    nfs = NfsLikeClient(*nfs_server.address)
+    # a deep-ish path so lookup costs are visible, as in the figure
+    chirp.mkdir("/a")
+    chirp.mkdir("/a/b")
+    chirp.putfile("/a/b/f.bin", PAYLOAD)
+    chirp.putfile("/bulk.bin", BULK)
+    nfs.mkdir("/a")
+    nfs.mkdir("/a/b")
+    nfs.write_file("/a/b/f.bin", PAYLOAD)
+    yield {"chirp": chirp, "nfs": nfs, "tmp": tmp}
+    chirp.close()
+    nfs.close()
+    chirp_server.stop()
+    nfs_server.stop()
+
+
+class TestLiveLatency:
+    def test_chirp_stat(self, benchmark, live):
+        benchmark(live["chirp"].stat, "/a/b/f.bin")
+
+    def test_nfslike_stat(self, benchmark, live):
+        benchmark(live["nfs"].getattr, "/a/b/f.bin")
+
+    def test_chirp_read_8k(self, benchmark, live):
+        chirp = live["chirp"]
+        fd = chirp.open("/a/b/f.bin", "r")
+        benchmark(chirp.pread, fd, 8192, 0)
+        chirp.close_fd(fd)
+
+    def test_nfslike_read_8k(self, benchmark, live):
+        nfs = live["nfs"]
+        fh = nfs.lookup("/a/b/f.bin")
+
+        def read_8k():
+            nfs.read_block(fh, 0)
+            nfs.read_block(fh, 4096)
+
+        benchmark(read_8k)
+
+    def test_stat_round_trips_live(self, benchmark, live, figure):
+        """The protocol claim behind Figure 4: Chirp resolves a stat in
+        ONE round trip; the NFS shape needs a LOOKUP per path component
+        plus a GETATTR.  Round trips are counted on the live wire.
+
+        (Wall-clock is reported but not asserted: on loopback the RTT is
+        microseconds, so time is dominated by server-side work -- e.g.
+        our ACL checks -- not by round trips.  On a real LAN the count is
+        what sets the latency, which is what the Figure 4 model asserts.)
+        """
+        import time
+
+        def count_rpcs(stream, fn):
+            sent = {"n": 0}
+            original = stream.write_line
+
+            def counting(*tokens):
+                sent["n"] += 1
+                return original(*tokens)
+
+            stream.write_line = counting
+            try:
+                fn()
+            finally:
+                stream.write_line = original
+            return sent["n"]
+
+        chirp_rpcs = benchmark.pedantic(
+            lambda: count_rpcs(
+                live["chirp"]._stream, lambda: live["chirp"].stat("/a/b/f.bin")
+            ),
+            rounds=1,
+            iterations=1,
+        )
+        nfs_rpcs = count_rpcs(
+            live["nfs"]._stream, lambda: live["nfs"].getattr("/a/b/f.bin")
+        )
+
+        def measure(fn, n=200):
+            start = time.perf_counter()
+            for _ in range(n):
+                fn()
+            return (time.perf_counter() - start) / n
+
+        chirp_t = measure(lambda: live["chirp"].stat("/a/b/f.bin"))
+        nfs_t = measure(lambda: live["nfs"].getattr("/a/b/f.bin"))
+        report = figure("Live latency", "Loopback stat: round trips and time")
+        report.header("path              round trips   latency")
+        report.row(f"chirp stat     {chirp_rpcs:10d} {chirp_t*1e6:12.1f} us")
+        report.row(f"nfs-like stat  {nfs_rpcs:10d} {nfs_t*1e6:12.1f} us")
+        report.series(
+            "stat", {"chirp_rpcs": chirp_rpcs, "nfslike_rpcs": nfs_rpcs,
+                     "chirp_us": chirp_t * 1e6, "nfslike_us": nfs_t * 1e6},
+        )
+        assert chirp_rpcs == 1
+        assert nfs_rpcs == 4  # 3 lookups (/a, /a/b, f.bin) + 1 getattr
+        assert chirp_rpcs < nfs_rpcs
+
+
+class TestLiveBandwidth:
+    def test_chirp_streaming_bulk(self, benchmark, live):
+        result = benchmark(live["chirp"].getfile, "/bulk.bin")
+        assert len(result) == len(BULK)
+
+    def test_bandwidth_gap_live(self, benchmark, live, figure):
+        """Streaming vs 4 KB request-response on the same sockets."""
+        import time
+
+        live["nfs"].write_file("/bulk.bin", BULK)
+
+        def chirp_read():
+            start = time.perf_counter()
+            got = live["chirp"].getfile("/bulk.bin")
+            return time.perf_counter() - start, got
+
+        chirp_s, got = benchmark.pedantic(chirp_read, rounds=1, iterations=1)
+        assert len(got) == len(BULK)
+
+        start = time.perf_counter()
+        got = live["nfs"].read_file("/bulk.bin")
+        nfs_s = time.perf_counter() - start
+        assert len(got) == len(BULK)
+
+        chirp_bw = len(BULK) / chirp_s / 1e6
+        nfs_bw = len(BULK) / nfs_s / 1e6
+        report = figure("Live bandwidth", "Loopback 4 MB read: streaming vs 4KB RPC")
+        report.header("path                 MB/s")
+        report.row(f"chirp getfile   {chirp_bw:9.1f}")
+        report.row(f"nfs-like read   {nfs_bw:9.1f}")
+        report.series("bw_mb_s", {"chirp": chirp_bw, "nfslike": nfs_bw})
+        # the paper's factor was ~8x on hardware; insist on a clear win
+        assert chirp_bw > 2 * nfs_bw
+
+
+class TestLiveInterpositionOverhead:
+    def test_interposed_stat_slowdown(self, benchmark, live, figure):
+        """Figure 3's claim on our own trap: interposed calls cost much
+        more than native ones (here the 'trap' is the Python patch layer
+        plus namespace resolution plus the remote round trip)."""
+        import time
+
+        tmp = live["tmp"]
+        local_file = tmp / "chirp" / "a" / "b" / "f.bin"
+        adapter = Adapter(
+            pool=None,
+            credentials=ClientCredentials(methods=("unix",)),
+        )
+        host, port = live["chirp"].host, live["chirp"].port
+
+        def measure(fn, n=300):
+            start = time.perf_counter()
+            for _ in range(n):
+                fn()
+            return (time.perf_counter() - start) / n
+
+        native_t = benchmark.pedantic(
+            lambda: measure(lambda: os.stat(str(local_file))),
+            rounds=1, iterations=1,
+        )
+        with interposed(adapter):
+            trapped_t = measure(lambda: os.stat(f"/cfs/{host}:{port}/a/b/f.bin"))
+        adapter.close()
+        report = figure("Live interposition", "Native vs interposed stat")
+        report.header("path              latency")
+        report.row(f"native os.stat {native_t*1e6:9.1f} us")
+        report.row(f"interposed     {trapped_t*1e6:9.1f} us")
+        report.series("stat_us", {"native": native_t * 1e6, "interposed": trapped_t * 1e6})
+        assert trapped_t > 5 * native_t

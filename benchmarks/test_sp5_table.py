@@ -1,0 +1,64 @@
+"""Section 8 table: SP5 under Unix / LAN-NFS / LAN-TSS / WAN-TSS.
+
+Paper table (reproduced from [13])::
+
+    configuration   init time        time/event
+    1  Unix          446 +-  46 s     64 s
+    2  LAN / NFS    4464 +- 172 s    113 s
+    3  LAN / TSS    4505 +- 155 s    113 s
+    4  WAN / TSS    6275 +- 330 s     88 s
+
+"The time to initialize SP5 increases by an order of magnitude no matter
+what the connection method.  However, once initialized, simulation
+events ... can be processed within a factor of two performance.  (Note
+that the WAN/TSS case processes single events faster than LAN/TSS due to
+a slightly faster processor.)"
+"""
+
+from repro.sim.sp5 import run_sp5_table
+
+PAPER = {
+    "unix": (446, 64),
+    "lan-nfs": (4464, 113),
+    "lan-tss": (4505, 113),
+    "wan-tss": (6275, 88),
+}
+
+
+def test_sp5_table(benchmark, figure):
+    rows = benchmark.pedantic(run_sp5_table, rounds=1, iterations=1)
+
+    report = figure("SP5 Table", "SP5 Initialization and Per-Event Time")
+    report.header(
+        f"{'configuration':<14} {'init (model)':>13} {'init (paper)':>13} "
+        f"{'event (model)':>14} {'event (paper)':>14}"
+    )
+    for r in rows:
+        p_init, p_event = PAPER[r.config]
+        report.row(
+            f"{r.config:<14} {r.init_time:12.0f}s {p_init:12d}s "
+            f"{r.time_per_event:13.1f}s {p_event:13d}s"
+        )
+        report.series(
+            r.config,
+            {
+                "init_model_s": r.init_time,
+                "init_paper_s": p_init,
+                "event_model_s": r.time_per_event,
+                "event_paper_s": p_event,
+            },
+        )
+
+    by = {r.config: r for r in rows}
+    # init jumps ~10x going remote, identically for NFS and TSS
+    assert 5 <= by["lan-nfs"].init_time / by["unix"].init_time <= 15
+    assert abs(by["lan-nfs"].init_time - by["lan-tss"].init_time) < 0.1 * by["lan-nfs"].init_time
+    # WAN adds a surcharge but stays the same order of magnitude
+    assert by["lan-tss"].init_time < by["wan-tss"].init_time < 2 * by["lan-tss"].init_time
+    # events stay within 2x of local; the WAN node's faster CPU wins back time
+    assert by["lan-tss"].time_per_event < 2 * by["unix"].time_per_event
+    assert by["wan-tss"].time_per_event < by["lan-tss"].time_per_event
+    # model lands near the published magnitudes
+    for config, (p_init, p_event) in PAPER.items():
+        assert abs(by[config].init_time - p_init) / p_init < 0.30
+        assert abs(by[config].time_per_event - p_event) / p_event < 0.30

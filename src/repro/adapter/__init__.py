@@ -1,0 +1,28 @@
+"""The adapter: transparently connecting applications to abstractions.
+
+This package plays the role of Parrot in the paper: it re-implements the
+Unix I/O surface in user space and routes it to TSS abstractions, without
+kernel changes or special privileges.
+
+Where the real Parrot traps system calls via the ptrace debugging
+interface, a Python reproduction traps the *Python* syscall surface:
+:class:`repro.adapter.adapter.Adapter` exposes ``open/stat/listdir/...``
+with POSIX semantics (raising ``OSError`` with correct errno), and
+:func:`repro.adapter.interpose.interposed` monkey-patches ``builtins.open``
+and the relevant ``os`` functions so *unmodified application code* works
+on TSS paths (see DESIGN.md, substitutions table).
+
+Namespace (paper, section 6): abstractions appear as top-level entries --
+``/cfs/<host:port>/path`` and ``/dsfs/<host:port>@<volume>/path`` -- and a
+*mountlist* maps private logical names onto them, e.g.::
+
+    /usr/local  /cfs/shared.cse.nd.edu:9094/software
+    /data       /dsfs/archive.cse.nd.edu:9094@run5/data
+"""
+
+from repro.adapter.mountlist import Mountlist
+from repro.adapter.adapter import Adapter
+from repro.adapter.fileobj import AdapterFile
+from repro.adapter.interpose import interposed
+
+__all__ = ["Adapter", "Mountlist", "AdapterFile", "interposed"]

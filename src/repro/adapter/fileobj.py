@@ -1,0 +1,139 @@
+"""File objects the adapter hands to applications.
+
+:class:`AdapterFile` is a :class:`io.RawIOBase`: *unbuffered*, because the
+paper's adapter "performs no buffering or caching before sending data to
+a file server: it sends all operations to the server in the order that
+they are issued."  Each ``read``/``write`` maps to one ``pread``/``pwrite``
+on the underlying abstraction handle; seek state lives here, client-side,
+exactly as the Chirp protocol intends.
+
+Text mode (via :meth:`repro.adapter.adapter.Adapter.open`) wraps this raw
+object in Python's buffered/text layers for convenience; that *does*
+introduce client-side buffering and is documented as a deviation -- pass
+``buffering=0`` and binary mode for faithful semantics.
+"""
+
+from __future__ import annotations
+
+import io
+import os
+
+from repro.core.interface import FileHandle
+from repro.util.errors import ChirpError, oserror_from_status
+
+__all__ = ["AdapterFile"]
+
+
+class AdapterFile(io.RawIOBase):
+    """An unbuffered, seekable binary file over an abstraction handle."""
+
+    def __init__(self, handle: FileHandle, name: str, readable: bool, writable: bool, append: bool = False):
+        super().__init__()
+        self._handle = handle
+        self.name = name
+        self._readable = readable
+        self._writable = writable
+        self._append = append
+        self._pos = 0
+        if append:
+            self._pos = self._size()
+
+    # -- capability flags ---------------------------------------------------
+
+    def readable(self) -> bool:
+        return self._readable
+
+    def writable(self) -> bool:
+        return self._writable
+
+    def seekable(self) -> bool:
+        return True
+
+    def fileno(self) -> int:
+        raise OSError("TSS files have no kernel file descriptor")
+
+    # -- plumbing -------------------------------------------------------
+
+    def _size(self) -> int:
+        return self._translate(lambda: self._handle.fstat().size)
+
+    @staticmethod
+    def _translate(op):
+        try:
+            return op()
+        except ChirpError as exc:
+            raise oserror_from_status(int(exc.status), str(exc)) from exc
+
+    def _check_open(self) -> None:
+        if self.closed:
+            raise ValueError("I/O operation on closed file")
+
+    # -- positioning ------------------------------------------------------
+
+    def seek(self, offset: int, whence: int = os.SEEK_SET) -> int:
+        self._check_open()
+        if whence == os.SEEK_SET:
+            new = offset
+        elif whence == os.SEEK_CUR:
+            new = self._pos + offset
+        elif whence == os.SEEK_END:
+            new = self._size() + offset
+        else:
+            raise ValueError(f"invalid whence {whence}")
+        if new < 0:
+            raise OSError(22, "negative seek position")
+        self._pos = new
+        return self._pos
+
+    def tell(self) -> int:
+        self._check_open()
+        return self._pos
+
+    # -- data path ----------------------------------------------------------
+
+    def readinto(self, b) -> int:
+        self._check_open()
+        if not self._readable:
+            raise io.UnsupportedOperation("file not open for reading")
+        view = memoryview(b)
+        data = self._translate(lambda: self._handle.pread(len(view), self._pos))
+        view[: len(data)] = data
+        self._pos += len(data)
+        return len(data)
+
+    def write(self, b) -> int:
+        self._check_open()
+        if not self._writable:
+            raise io.UnsupportedOperation("file not open for writing")
+        data = bytes(b)
+        if self._append:
+            self._pos = self._size()
+        n = self._translate(lambda: self._handle.pwrite(data, self._pos))
+        self._pos += n
+        return n
+
+    def truncate(self, size: int | None = None) -> int:
+        self._check_open()
+        if not self._writable:
+            raise io.UnsupportedOperation("file not open for writing")
+        target = self._pos if size is None else size
+        self._translate(lambda: self._handle.ftruncate(target))
+        return target
+
+    def fsync(self) -> None:
+        """Force the server to flush (exposed beyond the io protocol)."""
+        self._check_open()
+        self._translate(self._handle.fsync)
+
+    def stat(self):
+        from repro.core.interface import to_stat_result
+
+        self._check_open()
+        return to_stat_result(self._translate(self._handle.fstat))
+
+    def close(self) -> None:
+        if not self.closed:
+            try:
+                self._handle.close()
+            finally:
+                super().close()

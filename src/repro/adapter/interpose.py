@@ -1,0 +1,164 @@
+"""Interposition: running *unmodified* application code against the TSS.
+
+The real Parrot halts a process at every system call via ptrace and
+supplies its own implementation.  The honest Python analog is to replace
+the Python-level syscall surface -- ``builtins.open`` and the ``os``
+namespace functions -- for the duration of a context::
+
+    with interposed(adapter):
+        legacy_main()        # opens /cfs/host:9094/data/input unchanged
+
+Only paths the adapter *claims* (mountlist entries, explicit mounts, and
+the built-in ``/cfs``//``/dsfs`` namespaces) are redirected; everything
+else falls through to the original functions, so ordinary local I/O is
+untouched.  ``os.path.exists``/``isfile``/``isdir`` work automatically
+because they call ``os.stat`` by attribute lookup at call time.
+
+The patch is process-global (like ptrace) and not safe to nest with a
+*different* adapter concurrently; re-entrant use of the same adapter is
+fine.
+"""
+
+from __future__ import annotations
+
+import builtins
+import contextlib
+import os
+import threading
+from typing import Iterator
+
+from repro.adapter.adapter import Adapter
+
+__all__ = ["interposed"]
+
+_lock = threading.Lock()
+
+
+def _is_tss_path(adapter: Adapter, path) -> bool:
+    if not isinstance(path, str):
+        path = os.fspath(path) if isinstance(path, os.PathLike) else path
+        if not isinstance(path, str):
+            return False
+    if not path.startswith("/"):
+        return False
+    return adapter.claims(path)
+
+
+@contextlib.contextmanager
+def interposed(adapter: Adapter) -> Iterator[Adapter]:
+    """Patch the Python syscall surface to route TSS paths via ``adapter``."""
+
+    originals = {
+        "open": builtins.open,
+        "os.stat": os.stat,
+        "os.lstat": os.lstat,
+        "os.listdir": os.listdir,
+        "os.unlink": os.unlink,
+        "os.remove": os.remove,
+        "os.rename": os.rename,
+        "os.replace": os.replace,
+        "os.mkdir": os.mkdir,
+        "os.makedirs": os.makedirs,
+        "os.rmdir": os.rmdir,
+        "os.truncate": os.truncate,
+        "os.utime": os.utime,
+    }
+
+    def open_(file, mode="r", buffering=-1, encoding=None, errors=None,
+              newline=None, closefd=True, opener=None):
+        if _is_tss_path(adapter, file):
+            return adapter.open(
+                os.fspath(file), mode, buffering, encoding, errors, newline
+            )
+        return originals["open"](
+            file, mode, buffering, encoding, errors, newline, closefd, opener
+        )
+
+    def _route(name, tss_fn):
+        orig = originals[name]
+
+        def wrapper(path, *args, **kwargs):
+            if _is_tss_path(adapter, path):
+                return tss_fn(os.fspath(path), *args, **kwargs)
+            return orig(path, *args, **kwargs)
+
+        wrapper.__name__ = orig.__name__
+        return wrapper
+
+    def stat_(path, *args, dir_fd=None, follow_symlinks=True):
+        if _is_tss_path(adapter, path):
+            if follow_symlinks:
+                return adapter.stat(os.fspath(path))
+            return adapter.lstat(os.fspath(path))
+        return originals["os.stat"](
+            path, *args, dir_fd=dir_fd, follow_symlinks=follow_symlinks
+        )
+
+    def lstat_(path, *args, dir_fd=None):
+        if _is_tss_path(adapter, path):
+            return adapter.lstat(os.fspath(path))
+        return originals["os.lstat"](path, *args, dir_fd=dir_fd)
+
+    def rename_(src, dst, *args, **kwargs):
+        src_tss = _is_tss_path(adapter, src)
+        dst_tss = _is_tss_path(adapter, dst)
+        if src_tss and dst_tss:
+            return adapter.rename(os.fspath(src), os.fspath(dst))
+        if src_tss or dst_tss:
+            raise OSError(18, "rename between TSS and local namespaces")
+        return originals["os.rename"](src, dst, *args, **kwargs)
+
+    def utime_(path, times=None, **kwargs):
+        if _is_tss_path(adapter, path):
+            if times is None:
+                import time as _time
+
+                now = int(_time.time())
+                times = (now, now)
+            return adapter.utime(os.fspath(path), times)
+        return originals["os.utime"](path, times, **kwargs)
+
+    def mkdir_(path, mode=0o777, *args, **kwargs):
+        if _is_tss_path(adapter, path):
+            return adapter.mkdir(os.fspath(path), mode)
+        return originals["os.mkdir"](path, mode, *args, **kwargs)
+
+    def makedirs_(path, mode=0o777, exist_ok=False):
+        if _is_tss_path(adapter, path):
+            try:
+                return adapter.makedirs(os.fspath(path), mode)
+            except FileExistsError:
+                if not exist_ok:
+                    raise
+                return None
+        return originals["os.makedirs"](path, mode, exist_ok=exist_ok)
+
+    patches = {
+        "open": open_,
+        "os.stat": stat_,
+        "os.lstat": lstat_,
+        "os.listdir": _route("os.listdir", adapter.listdir),
+        "os.unlink": _route("os.unlink", adapter.unlink),
+        "os.remove": _route("os.remove", adapter.unlink),
+        "os.rename": rename_,
+        "os.replace": rename_,
+        "os.mkdir": mkdir_,
+        "os.makedirs": makedirs_,
+        "os.rmdir": _route("os.rmdir", adapter.rmdir),
+        "os.truncate": _route("os.truncate", adapter.truncate),
+        "os.utime": utime_,
+    }
+
+    with _lock:
+        builtins.open = patches["open"]
+        for name, fn in patches.items():
+            if name.startswith("os."):
+                setattr(os, name[3:], fn)
+    try:
+        yield adapter
+    finally:
+        with _lock:
+            builtins.open = originals["open"]
+            for name, fn in originals.items():
+                if name.startswith("os."):
+                    setattr(os, name[3:], fn)

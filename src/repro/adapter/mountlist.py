@@ -1,0 +1,70 @@
+"""Mountlists: private namespaces mapping logical names to abstractions.
+
+"An application can be given a 'mountlist' that creates a private
+namespace by mapping logical names to external abstractions."  A
+mountlist is an ordered set of ``logical-prefix -> target-prefix`` rules;
+translation rewrites the longest matching logical prefix (at a path
+component boundary) and may chase a bounded number of chained rules, so a
+logical name may map onto another logical name.
+"""
+
+from __future__ import annotations
+
+from repro.util.paths import normalize_virtual
+
+__all__ = ["Mountlist"]
+
+_MAX_CHAIN = 8
+
+
+class Mountlist:
+    """Ordered prefix-rewriting rules for a private namespace."""
+
+    def __init__(self):
+        self._rules: list[tuple[str, str]] = []
+
+    def add(self, logical: str, target: str) -> None:
+        logical = normalize_virtual(logical)
+        if logical == "/":
+            raise ValueError("cannot remap the root")
+        self._rules.append((logical, target.rstrip("/") or "/"))
+        # Longest prefix first so /a/b shadows /a.
+        self._rules.sort(key=lambda r: len(r[0]), reverse=True)
+
+    @classmethod
+    def from_text(cls, text: str) -> "Mountlist":
+        """Parse the two-column file format shown in the paper."""
+        ml = cls()
+        for raw in text.splitlines():
+            line = raw.strip()
+            if not line or line.startswith("#"):
+                continue
+            parts = line.split()
+            if len(parts) != 2:
+                raise ValueError(f"malformed mountlist line {line!r}")
+            ml.add(parts[0], parts[1])
+        return ml
+
+    def to_text(self) -> str:
+        return "".join(f"{logical} {target}\n" for logical, target in self._rules)
+
+    def __len__(self) -> int:
+        return len(self._rules)
+
+    def translate(self, path: str) -> str:
+        """Rewrite ``path`` through the rules (bounded chain)."""
+        current = normalize_virtual(path)
+        for _ in range(_MAX_CHAIN):
+            replaced = self._translate_once(current)
+            if replaced is None:
+                return current
+            current = replaced
+        raise ValueError(f"mountlist loop translating {path!r}")
+
+    def _translate_once(self, path: str) -> str | None:
+        for logical, target in self._rules:
+            if path == logical:
+                return target
+            if path.startswith(logical + "/"):
+                return target + path[len(logical):]
+        return None

@@ -1,0 +1,16 @@
+"""Synthetic stand-ins for the paper's scientific applications.
+
+- :mod:`repro.apps.sp5` -- a runnable program with SP5's I/O profile
+  (staged initialization reading scripts/libraries/configuration, then an
+  event loop producing output), written against *plain Python file I/O*
+  so it can run unmodified under adapter interposition -- exactly how the
+  real SP5 ran unmodified under Parrot.
+- :mod:`repro.apps.protomol` -- a generator of PROTOMOL-like simulation
+  outputs (deterministic pseudo-random trajectory/energy files plus
+  metadata), the dataset GEMS preserves.
+"""
+
+from repro.apps.sp5 import SyntheticSP5, SP5RunStats
+from repro.apps.protomol import ProtomolRun, generate_runs
+
+__all__ = ["SyntheticSP5", "SP5RunStats", "ProtomolRun", "generate_runs"]

@@ -1,0 +1,87 @@
+"""Synthetic PROTOMOL simulation outputs: the dataset GEMS preserves.
+
+"A single user of a simulation tool such as PROTOMOL can easily generate
+so many simulation outputs that a database is needed simply to keep track
+of the work accomplished."  This module generates deterministic
+pseudo-random stand-ins for those outputs -- trajectory and energy files
+with rich queryable metadata -- sized to taste.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+
+__all__ = ["ProtomolRun", "generate_runs"]
+
+_MOLECULES = ("alanine", "bpti", "villin", "ww-domain", "lysozyme")
+_INTEGRATORS = ("leapfrog", "langevin", "nose-hoover")
+
+
+@dataclass
+class ProtomolRun:
+    """One simulation run: a few output files plus their metadata."""
+
+    run_id: int
+    molecule: str
+    integrator: str
+    temperature: float
+    steps: int
+    trajectory_bytes: int
+    energy_bytes: int
+    seed: int = 7
+
+    def metadata(self) -> dict:
+        return {
+            "project": "protomol",
+            "run": self.run_id,
+            "molecule": self.molecule,
+            "integrator": self.integrator,
+            "temperature": self.temperature,
+            "steps": self.steps,
+        }
+
+    def _blob(self, tag: str, size: int) -> bytes:
+        h = hashlib.sha256(f"{self.seed}:{self.run_id}:{tag}".encode()).digest()
+        return (h * (size // len(h) + 1))[:size]
+
+    def files(self) -> list[tuple[str, bytes, dict]]:
+        """(name, content, metadata) triples, ready for DSDB ingest."""
+        base = f"run{self.run_id:04d}"
+        meta = self.metadata()
+        return [
+            (
+                f"{base}/trajectory.dcd",
+                self._blob("traj", self.trajectory_bytes),
+                {**meta, "kind": "trajectory"},
+            ),
+            (
+                f"{base}/energies.dat",
+                self._blob("energy", self.energy_bytes),
+                {**meta, "kind": "energy"},
+            ),
+        ]
+
+
+def generate_runs(
+    n_runs: int,
+    trajectory_bytes: int = 200_000,
+    energy_bytes: int = 20_000,
+    seed: int = 7,
+) -> list[ProtomolRun]:
+    """A parameter sweep like a real study: molecules x integrators x T."""
+    runs = []
+    for i in range(n_runs):
+        runs.append(
+            ProtomolRun(
+                run_id=i,
+                molecule=_MOLECULES[i % len(_MOLECULES)],
+                integrator=_INTEGRATORS[(i // len(_MOLECULES)) % len(_INTEGRATORS)],
+                temperature=280.0 + 10.0 * (i % 6),
+                steps=100_000 + 50_000 * (i % 4),
+                trajectory_bytes=trajectory_bytes,
+                energy_bytes=energy_bytes,
+                seed=seed,
+            )
+        )
+    return runs

@@ -1,0 +1,61 @@
+"""Virtual user space: authentication and access control for the TSS.
+
+The paper's file server manages *free-form text identities independently of
+the local user database* so that sharing can cross administrative domains.
+This package implements that virtual user space:
+
+- :mod:`repro.auth.subjects` -- ``method:name`` subject strings and
+  wildcard pattern matching (``hostname:*.cse.nd.edu``).
+- :mod:`repro.auth.acl` -- per-directory access control lists with rights
+  ``R W L D A`` and the *reserve* right ``V(...)`` that lets visiting users
+  carve out fresh private namespaces via ``mkdir``.
+- :mod:`repro.auth.methods` -- the four authentication methods from the
+  paper (``hostname``, ``unix``, ``globus``, ``kerberos``); the Globus CA
+  and the Kerberos KDC are simulated (see DESIGN.md, substitutions table).
+"""
+
+from repro.auth.subjects import (
+    make_subject,
+    parse_subject,
+    subject_matches,
+    validate_subject,
+)
+from repro.auth.acl import (
+    Acl,
+    AclEntry,
+    Rights,
+    ALL_RIGHTS,
+    parse_rights,
+    format_rights,
+)
+from repro.auth.methods import (
+    AuthContext,
+    AuthFailed,
+    authenticate_client,
+    authenticate_server,
+    SimulatedCA,
+    GlobusCredential,
+    SimulatedKDC,
+    KerberosTicket,
+)
+
+__all__ = [
+    "make_subject",
+    "parse_subject",
+    "subject_matches",
+    "validate_subject",
+    "Acl",
+    "AclEntry",
+    "Rights",
+    "ALL_RIGHTS",
+    "parse_rights",
+    "format_rights",
+    "AuthContext",
+    "AuthFailed",
+    "authenticate_client",
+    "authenticate_server",
+    "SimulatedCA",
+    "GlobusCredential",
+    "SimulatedKDC",
+    "KerberosTicket",
+]

@@ -1,0 +1,471 @@
+"""The four authentication methods of the Chirp file server.
+
+Wire handshake (over the same :class:`~repro.util.wire.LineStream` as the
+rest of the protocol)::
+
+    C: auth <method>
+    S: refused            (method not enabled here; client may try another)
+    S: proceed            (method enabled; method-specific dialogue follows)
+    ... method dialogue ...
+    S: success <subject>  | failure <reason>
+
+A client "may attempt any number of authentication methods in any order"
+(paper, section 4); the first success fixes the subject for the session.
+
+Methods:
+
+``hostname``
+    The server derives identity from the peer address via a resolver hook.
+    Weak by design -- it identifies a *machine*, not a person.
+
+``unix``
+    Challenge-response within a shared local filesystem: the server asks
+    the client to create a specific file, then infers the client's local
+    username from the created file's ``st_uid``.  Works whenever client and
+    server share a filesystem (in the paper, and here, the same host).
+
+``globus``
+    Grid Security Infrastructure.  **Simulated** (see DESIGN.md): a
+    :class:`SimulatedCA` signs distinguished names with an HMAC chain and
+    issues a per-credential private key; the server verifies the signature
+    against its trusted-CA table and challenges the client to prove
+    possession of the key.  The subject-name flow (``globus:/O=.../CN=...``)
+    and failure modes (unknown CA, bad signature, stolen cert without key)
+    match the real system.
+
+``kerberos``
+    **Simulated** KDC: principals authenticate to the KDC with a password
+    and receive a time-limited service ticket sealed under the service's
+    key, plus a session key; the server unseals the ticket and challenges
+    the client to prove it holds the session key.  Expired tickets fail.
+"""
+
+from __future__ import annotations
+
+import base64
+import hashlib
+import hmac
+import json
+import os
+import secrets
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.auth.subjects import make_subject
+from repro.util.wire import LineStream
+
+__all__ = [
+    "AuthFailed",
+    "AuthContext",
+    "ClientCredentials",
+    "authenticate_server",
+    "authenticate_client",
+    "SimulatedCA",
+    "GlobusCredential",
+    "SimulatedKDC",
+    "KerberosTicket",
+    "TICKET_LIFETIME",
+]
+
+TICKET_LIFETIME = 3600.0  # seconds; mirrors a short Kerberos ticket life
+
+
+class AuthFailed(Exception):
+    """Every enabled method was attempted and none succeeded."""
+
+
+def _hmac(key: bytes, *parts: str) -> str:
+    mac = hmac.new(key, digestmod=hashlib.sha256)
+    for part in parts:
+        mac.update(part.encode("utf-8"))
+        mac.update(b"\x00")
+    return mac.hexdigest()
+
+
+# ---------------------------------------------------------------------------
+# Simulated Globus GSI
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class GlobusCredential:
+    """A signed distinguished name plus its possession-proof key."""
+
+    dn: str
+    ca_name: str
+    signature: str
+    key: str  # private: proves possession; never sent on the wire
+
+
+class SimulatedCA:
+    """A certificate authority that signs DNs with an HMAC chain.
+
+    The CA secret stands in for the CA's private key.  A server that
+    trusts this CA holds the same secret (the analog of holding the CA's
+    public certificate -- symmetric rather than asymmetric, which is fine
+    for reproducing the *authorization flow*; see DESIGN.md).
+    """
+
+    def __init__(self, name: str, secret: bytes | None = None):
+        if not name:
+            raise ValueError("CA needs a name")
+        self.name = name
+        self.secret = secret if secret is not None else secrets.token_bytes(32)
+
+    def issue(self, dn: str) -> GlobusCredential:
+        """Issue a credential for a distinguished name like ``/O=ND/CN=a``."""
+        if not dn.startswith("/"):
+            raise ValueError("distinguished names start with '/'")
+        return GlobusCredential(
+            dn=dn,
+            ca_name=self.name,
+            signature=_hmac(self.secret, "cert", dn),
+            key=_hmac(self.secret, "key", dn),
+        )
+
+    def verify_signature(self, dn: str, signature: str) -> bool:
+        return hmac.compare_digest(signature, _hmac(self.secret, "cert", dn))
+
+    def key_for(self, dn: str) -> str:
+        return _hmac(self.secret, "key", dn)
+
+
+# ---------------------------------------------------------------------------
+# Simulated Kerberos
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class KerberosTicket:
+    """An opaque sealed ticket plus the session key the KDC handed us."""
+
+    blob: str  # base64 payload + "." + HMAC under the service key
+    session_key: str
+    principal: str
+    expires: float
+
+
+class SimulatedKDC:
+    """A key distribution center with a principal database.
+
+    Services register and receive a service key; clients authenticate with
+    a password and receive tickets sealed under that service key.
+    """
+
+    def __init__(self, realm: str):
+        self.realm = realm
+        self._principals: dict[str, str] = {}
+        self._service_keys: dict[str, bytes] = {}
+
+    def add_principal(self, name: str, password: str) -> None:
+        self._principals[name] = password
+
+    def register_service(self, service: str) -> bytes:
+        key = secrets.token_bytes(32)
+        self._service_keys[service] = key
+        return key
+
+    def issue_ticket(
+        self,
+        principal: str,
+        password: str,
+        service: str,
+        *,
+        lifetime: float = TICKET_LIFETIME,
+        now: Optional[float] = None,
+    ) -> KerberosTicket:
+        if self._principals.get(principal) != password:
+            raise PermissionError(f"bad password for {principal}")
+        service_key = self._service_keys.get(service)
+        if service_key is None:
+            raise KeyError(f"unknown service {service}")
+        now = time.time() if now is None else now
+        payload = {
+            "client": f"{principal}@{self.realm}",
+            "service": service,
+            "expires": now + lifetime,
+            "skey": secrets.token_hex(16),
+        }
+        raw = json.dumps(payload, sort_keys=True)
+        sealed = base64.b64encode(raw.encode()).decode()
+        sig = _hmac(service_key, "ticket", raw)
+        return KerberosTicket(
+            blob=f"{sealed}.{sig}",
+            session_key=payload["skey"],
+            principal=payload["client"],
+            expires=payload["expires"],
+        )
+
+    @staticmethod
+    def unseal(blob: str, service_key: bytes, *, now: Optional[float] = None) -> dict:
+        """Server-side: verify and open a ticket; raises on any problem."""
+        sealed, _, sig = blob.partition(".")
+        if not sig:
+            raise PermissionError("malformed ticket")
+        raw = base64.b64decode(sealed).decode()
+        if not hmac.compare_digest(sig, _hmac(service_key, "ticket", raw)):
+            raise PermissionError("ticket signature invalid")
+        payload = json.loads(raw)
+        now = time.time() if now is None else now
+        if payload["expires"] < now:
+            raise PermissionError("ticket expired")
+        return payload
+
+
+# ---------------------------------------------------------------------------
+# Server / client configuration
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class AuthContext:
+    """Server-side authentication configuration.
+
+    :ivar enabled: methods offered, in no particular order.
+    :ivar hostname_resolver: maps a peer IP address to a hostname; None
+        return disables hostname auth for that peer.  The default maps
+        loopback to ``localhost`` (tests install richer mappings).
+    :ivar unix_challenge_dir: directory shared with local clients for the
+        unix challenge (defaults to the system temp dir).
+    :ivar trusted_cas: CA name -> CA secret for globus auth.
+    :ivar kerberos_service_key: this server's service key from the KDC.
+    :ivar clock: time source for ticket-expiry checks.
+    """
+
+    enabled: tuple[str, ...] = ("hostname", "unix")
+    hostname_resolver: Callable[[str], Optional[str]] = None  # type: ignore[assignment]
+    unix_challenge_dir: str = ""
+    trusted_cas: dict[str, bytes] = field(default_factory=dict)
+    kerberos_service_key: Optional[bytes] = None
+    now: Callable[[], float] = time.time
+
+    def __post_init__(self):
+        if self.hostname_resolver is None:
+            self.hostname_resolver = default_hostname_resolver
+        if not self.unix_challenge_dir:
+            import tempfile
+
+            self.unix_challenge_dir = tempfile.gettempdir()
+
+
+def default_hostname_resolver(addr: str) -> Optional[str]:
+    if addr in ("127.0.0.1", "::1"):
+        return "localhost"
+    try:
+        import socket
+
+        return socket.getfqdn(addr) or None
+    except OSError:
+        return None
+
+
+@dataclass
+class ClientCredentials:
+    """Client-side credentials; ``methods`` gives the order of attempts."""
+
+    methods: tuple[str, ...] = ("unix", "hostname")
+    globus: Optional[GlobusCredential] = None
+    kerberos: Optional[KerberosTicket] = None
+
+
+# ---------------------------------------------------------------------------
+# Server-side dialogue
+# ---------------------------------------------------------------------------
+
+
+def authenticate_server(stream: LineStream, ctx: AuthContext, peer_addr: str) -> str:
+    """Run the server side of authentication; returns the subject.
+
+    Loops over client attempts until one succeeds; raises
+    :class:`AuthFailed` if the client gives up (sends ``auth done``).
+    """
+    while True:
+        tokens = stream.read_tokens()
+        if not tokens or tokens[0] != "auth":
+            stream.write_line("failure", "expected auth command")
+            raise AuthFailed("protocol violation before authentication")
+        if len(tokens) == 2 and tokens[1] == "done":
+            stream.write_line("failure", "no method succeeded")
+            raise AuthFailed("client exhausted authentication methods")
+        if len(tokens) != 2:
+            stream.write_line("refused")
+            continue
+        method = tokens[1]
+        if method not in ctx.enabled:
+            stream.write_line("refused")
+            continue
+        stream.write_line("proceed")
+        subject = _SERVER_DIALOGUES[method](stream, ctx, peer_addr)
+        if subject is not None:
+            stream.write_line("success", subject)
+            return subject
+        stream.write_line("failure", f"{method} authentication failed")
+
+
+def _server_hostname(stream: LineStream, ctx: AuthContext, peer_addr: str) -> Optional[str]:
+    name = ctx.hostname_resolver(peer_addr)
+    if not name:
+        return None
+    return make_subject("hostname", name)
+
+
+def _server_unix(stream: LineStream, ctx: AuthContext, peer_addr: str) -> Optional[str]:
+    challenge = os.path.join(
+        ctx.unix_challenge_dir, f".tss-challenge-{secrets.token_hex(16)}"
+    )
+    stream.write_line("challenge", challenge)
+    reply = stream.read_tokens()
+    try:
+        if not reply or reply[0] != "touched":
+            return None
+        try:
+            st = os.stat(challenge)
+        except FileNotFoundError:
+            return None
+        try:
+            import pwd
+
+            username = pwd.getpwuid(st.st_uid).pw_name
+        except (ImportError, KeyError):
+            username = str(st.st_uid)
+        return make_subject("unix", username)
+    finally:
+        try:
+            os.unlink(challenge)
+        except OSError:
+            pass
+
+
+def _server_globus(stream: LineStream, ctx: AuthContext, peer_addr: str) -> Optional[str]:
+    tokens = stream.read_tokens()
+    if len(tokens) != 4 or tokens[0] != "cred":
+        return None
+    _, dn, ca_name, signature = tokens
+    # Always send the nonce so the dialogue has a fixed line shape; the
+    # verdict is computed at the end.  This keeps client and server in
+    # lockstep even when the certificate is rejected.
+    nonce = secrets.token_hex(16)
+    stream.write_line("nonce", nonce)
+    reply = stream.read_tokens()
+    if len(reply) != 2 or reply[0] != "response":
+        return None
+    ca_secret = ctx.trusted_cas.get(ca_name)
+    if ca_secret is None or not dn:
+        return None
+    if not hmac.compare_digest(signature, _hmac(ca_secret, "cert", dn)):
+        return None
+    expected = _hmac(_hmac(ca_secret, "key", dn).encode(), "nonce", nonce)
+    if not hmac.compare_digest(reply[1], expected):
+        return None
+    return make_subject("globus", dn)
+
+
+def _server_kerberos(stream: LineStream, ctx: AuthContext, peer_addr: str) -> Optional[str]:
+    if ctx.kerberos_service_key is None:
+        return None
+    nonce = secrets.token_hex(16)
+    stream.write_line("nonce", nonce)
+    tokens = stream.read_tokens()
+    if len(tokens) != 3 or tokens[0] != "ticket":
+        return None
+    _, blob, response = tokens
+    try:
+        payload = SimulatedKDC.unseal(blob, ctx.kerberos_service_key, now=ctx.now())
+    except (PermissionError, ValueError, KeyError):
+        return None
+    expected = _hmac(payload["skey"].encode(), "nonce", nonce)
+    if not hmac.compare_digest(response, expected):
+        return None
+    return make_subject("kerberos", payload["client"])
+
+
+_SERVER_DIALOGUES = {
+    "hostname": _server_hostname,
+    "unix": _server_unix,
+    "globus": _server_globus,
+    "kerberos": _server_kerberos,
+}
+
+
+# ---------------------------------------------------------------------------
+# Client-side dialogue
+# ---------------------------------------------------------------------------
+
+
+def authenticate_client(stream: LineStream, creds: ClientCredentials) -> str:
+    """Run the client side; returns the subject granted by the server."""
+    for method in creds.methods:
+        if method not in _CLIENT_DIALOGUES:
+            raise ValueError(f"unknown auth method {method!r}")
+        stream.write_line("auth", method)
+        reply = stream.read_tokens()
+        if reply and reply[0] == "refused":
+            continue
+        if not reply or reply[0] != "proceed":
+            raise AuthFailed(f"unexpected server reply {reply!r}")
+        ok = _CLIENT_DIALOGUES[method](stream, creds)
+        final = stream.read_tokens()
+        if final and final[0] == "success" and len(final) == 2 and ok:
+            return final[1]
+        # failure: fall through to the next method
+    stream.write_line("auth", "done")
+    final = stream.read_tokens()
+    raise AuthFailed("all authentication methods failed")
+
+
+def _client_hostname(stream: LineStream, creds: ClientCredentials) -> bool:
+    return True  # nothing to do; the server inspects the peer address
+
+
+def _client_unix(stream: LineStream, creds: ClientCredentials) -> bool:
+    tokens = stream.read_tokens()
+    if len(tokens) != 2 or tokens[0] != "challenge":
+        return False
+    path = tokens[1]
+    try:
+        fd = os.open(path, os.O_CREAT | os.O_EXCL | os.O_WRONLY, 0o600)
+        os.close(fd)
+    except OSError:
+        stream.write_line("cannot")
+        return False
+    stream.write_line("touched")
+    return True
+
+
+def _client_globus(stream: LineStream, creds: ClientCredentials) -> bool:
+    cred = creds.globus
+    if cred is None:
+        # Keep the dialogue shape: empty credential, junk response.
+        stream.write_line("cred", "", "", "")
+        tokens = stream.read_tokens()
+        if len(tokens) == 2 and tokens[0] == "nonce":
+            stream.write_line("response", "")
+        return False
+    stream.write_line("cred", cred.dn, cred.ca_name, cred.signature)
+    tokens = stream.read_tokens()
+    if len(tokens) != 2 or tokens[0] != "nonce":
+        return False
+    stream.write_line("response", _hmac(cred.key.encode(), "nonce", tokens[1]))
+    return True
+
+
+def _client_kerberos(stream: LineStream, creds: ClientCredentials) -> bool:
+    tokens = stream.read_tokens()
+    if len(tokens) != 2 or tokens[0] != "nonce":
+        return False
+    ticket = creds.kerberos
+    if ticket is None:
+        stream.write_line("ticket", "", "")
+        return False
+    response = _hmac(ticket.session_key.encode(), "nonce", tokens[1])
+    stream.write_line("ticket", ticket.blob, response)
+    return True
+
+
+_CLIENT_DIALOGUES = {
+    "hostname": _client_hostname,
+    "unix": _client_unix,
+    "globus": _client_globus,
+    "kerberos": _client_kerberos,
+}

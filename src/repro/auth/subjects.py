@@ -1,0 +1,59 @@
+"""Subject names: the TSS virtual user space.
+
+A *subject* is a free-form string ``method:name`` produced by a successful
+authentication -- e.g. ``hostname:laptop.cse.nd.edu``,
+``unix:dthain``, ``globus:/O=NotreDame/CN=Alice``,
+``kerberos:alice@ND.EDU``.  Access-control entries hold subject *patterns*
+in the same syntax where the name part may contain shell-style wildcards.
+"""
+
+from __future__ import annotations
+
+from fnmatch import fnmatchcase
+
+__all__ = [
+    "KNOWN_METHODS",
+    "make_subject",
+    "parse_subject",
+    "validate_subject",
+    "subject_matches",
+]
+
+KNOWN_METHODS = ("hostname", "unix", "globus", "kerberos")
+
+
+def make_subject(method: str, name: str) -> str:
+    """Build a ``method:name`` subject string."""
+    if not method or ":" in method:
+        raise ValueError(f"bad auth method {method!r}")
+    if not name:
+        raise ValueError("empty subject name")
+    return f"{method}:{name}"
+
+
+def parse_subject(subject: str) -> tuple[str, str]:
+    """Split a subject into (method, name); raises on malformed input."""
+    method, sep, name = subject.partition(":")
+    if not sep or not method or not name:
+        raise ValueError(f"malformed subject {subject!r}")
+    return method, name
+
+
+def validate_subject(subject: str) -> str:
+    """Validate and return a subject string (for storage in ACLs)."""
+    parse_subject(subject)
+    if any(c in subject for c in " \t\n"):
+        raise ValueError(f"whitespace in subject {subject!r}")
+    return subject
+
+
+def subject_matches(pattern: str, subject: str) -> bool:
+    """True when an ACL pattern matches an authenticated subject.
+
+    Matching is case-sensitive shell-glob matching over the *entire*
+    ``method:name`` string, so ``globus:/O=NotreDame/*`` matches every
+    GSI subject issued under that organization, and a ``*`` pattern
+    matches anyone.  The method part must match literally unless it is
+    itself wildcarded -- ``hostname:*`` can never match a ``unix:`` user.
+    """
+    return fnmatchcase(subject, pattern)

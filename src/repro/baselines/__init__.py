@@ -1,0 +1,14 @@
+"""Baselines the paper compares against.
+
+:mod:`repro.baselines.nfslike` is a runnable NFS-flavored file service:
+stateless per-RPC design, per-component ``LOOKUP`` name resolution, and
+fixed-size (4 KB) read/write transfers in strict request-response rhythm.
+It exists so the loopback latency/bandwidth benchmarks compare our Chirp
+implementation against the *protocol structure* the paper blames for NFS's
+low bandwidth ("the low bandwidth is due to the protocol, not due to the
+target disk"), holding everything else (Python, sockets, host) constant.
+"""
+
+from repro.baselines.nfslike import NfsLikeServer, NfsLikeClient, NFS_BLOCK_SIZE
+
+__all__ = ["NfsLikeServer", "NfsLikeClient", "NFS_BLOCK_SIZE"]

@@ -1,0 +1,17 @@
+"""Catalog servers: discovery of storage resources.
+
+Each file server periodically reports itself (owner, address, capacity,
+top-level ACL, ...) to one or more catalogs over UDP.  A catalog publishes
+the aggregate list over TCP in several formats and silently drops servers
+that have not reported within the timeout.
+
+All catalog data is *necessarily stale* (paper, section 4): abstractions
+that discover resources here must be prepared to revisit any assumption
+when they actually contact the file server.
+"""
+
+from repro.catalog.report import ServerReport
+from repro.catalog.server import CatalogServer
+from repro.catalog.client import query_catalog, CatalogClient
+
+__all__ = ["ServerReport", "CatalogServer", "query_catalog", "CatalogClient"]

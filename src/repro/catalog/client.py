@@ -1,0 +1,77 @@
+"""Client-side catalog discovery.
+
+Abstractions use this to find storage at runtime.  Remember the staleness
+contract: anything learned here (free space, ACLs, liveness) may have
+changed by the time a file server is actually contacted.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+
+from repro.catalog.report import ServerReport
+from repro.util.errors import DisconnectedError, TimedOutError
+
+__all__ = ["query_catalog", "CatalogClient"]
+
+
+def query_catalog(
+    host: str, port: int, fmt: str = "json", timeout: float = 10.0
+) -> str:
+    """Fetch a raw catalog listing in the requested format."""
+    try:
+        with socket.create_connection((host, port), timeout=timeout) as sock:
+            sock.sendall(f"query {fmt}\n".encode("ascii"))
+            chunks = []
+            while True:
+                data = sock.recv(65536)
+                if not data:
+                    break
+                chunks.append(data)
+    except socket.timeout as exc:
+        raise TimedOutError(f"catalog query to {host}:{port}") from exc
+    except OSError as exc:
+        raise DisconnectedError(f"catalog query to {host}:{port}: {exc}") from exc
+    return b"".join(chunks).decode("utf-8")
+
+
+class CatalogClient:
+    """Typed discovery over one or more catalogs.
+
+    Multiple catalogs may report overlapping server sets; results are
+    de-duplicated by server endpoint, keeping the freshest report.
+    """
+
+    def __init__(self, addrs: list[tuple[str, int]], timeout: float = 10.0):
+        if not addrs:
+            raise ValueError("need at least one catalog address")
+        self.addrs = list(addrs)
+        self.timeout = timeout
+
+    def discover(self) -> list[ServerReport]:
+        """All live servers known to any reachable catalog."""
+        merged: dict[tuple[str, int], ServerReport] = {}
+        reachable = 0
+        for host, port in self.addrs:
+            try:
+                body = query_catalog(host, port, "json", self.timeout)
+            except (DisconnectedError, TimedOutError):
+                continue
+            reachable += 1
+            for doc in json.loads(body):
+                report = ServerReport.from_json(json.dumps(doc))
+                prev = merged.get(report.key)
+                if prev is None or report.received_at > prev.received_at:
+                    merged[report.key] = report
+        if reachable == 0:
+            raise DisconnectedError("no catalog was reachable")
+        return sorted(merged.values(), key=lambda r: r.name)
+
+    def find_space(self, min_free_bytes: int) -> list[ServerReport]:
+        """Servers advertising at least ``min_free_bytes`` free.
+
+        Advertised space is stale by definition; callers must be prepared
+        for the actual write to fail and to fall back to another server.
+        """
+        return [r for r in self.discover() if r.free_bytes >= min_free_bytes]

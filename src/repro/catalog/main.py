@@ -1,0 +1,40 @@
+"""Command-line entry point for a catalog server: ``tss-catalog``."""
+
+from __future__ import annotations
+
+import argparse
+import logging
+import signal
+import threading
+
+from repro.catalog.server import CatalogServer, DEFAULT_LIFETIME
+
+__all__ = ["main"]
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="tss-catalog", description="Run a TSS catalog server."
+    )
+    parser.add_argument("--host", default="0.0.0.0")
+    parser.add_argument("--port", type=int, default=9097)
+    parser.add_argument("--lifetime", type=float, default=DEFAULT_LIFETIME)
+    parser.add_argument("--verbose", action="store_true")
+    args = parser.parse_args(argv)
+    logging.basicConfig(
+        level=logging.DEBUG if args.verbose else logging.INFO,
+        format="%(asctime)s %(name)s %(levelname)s %(message)s",
+    )
+    catalog = CatalogServer(args.host, args.port, lifetime=args.lifetime)
+    catalog.start()
+    print(f"tss-catalog: listening on {catalog.address[0]}:{catalog.address[1]}")
+    stop = threading.Event()
+    signal.signal(signal.SIGINT, lambda *_: stop.set())
+    signal.signal(signal.SIGTERM, lambda *_: stop.set())
+    stop.wait()
+    catalog.stop()
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,75 @@
+"""The report document a file server periodically sends to catalogs."""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field, asdict
+
+__all__ = ["ServerReport"]
+
+_REQUIRED = ("type", "name", "owner", "host", "port")
+
+
+@dataclass
+class ServerReport:
+    """One file server's self-description, as stored by a catalog.
+
+    ``received_at`` is stamped by the catalog (its own clock), and all
+    staleness decisions use it; the reporter's clock is never trusted.
+    """
+
+    type: str
+    name: str
+    owner: str
+    host: str
+    port: int
+    version: int = 0
+    total_bytes: int = 0
+    free_bytes: int = 0
+    root_acl: str = ""
+    uptime: float = 0.0
+    report_time: float = 0.0
+    received_at: float = 0.0
+    extra: dict = field(default_factory=dict)
+
+    @classmethod
+    def from_json(cls, raw: bytes | str) -> "ServerReport":
+        """Parse a report datagram; raises ValueError on garbage."""
+        doc = json.loads(raw)
+        if not isinstance(doc, dict):
+            raise ValueError("report is not a JSON object")
+        for key in _REQUIRED:
+            if key not in doc:
+                raise ValueError(f"report missing required field {key!r}")
+        known = {f for f in cls.__dataclass_fields__ if f != "extra"}
+        kwargs = {k: doc[k] for k in known if k in doc}
+        kwargs["port"] = int(kwargs["port"])
+        extra = {k: v for k, v in doc.items() if k not in known}
+        return cls(extra=extra, **kwargs)
+
+    def to_dict(self) -> dict:
+        doc = asdict(self)
+        extra = doc.pop("extra")
+        doc.update(extra)
+        return doc
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), sort_keys=True)
+
+    @property
+    def key(self) -> tuple[str, int]:
+        """Catalog de-duplication key: one entry per server endpoint."""
+        return (self.host, self.port)
+
+    def to_text_block(self) -> str:
+        """Human-readable format, in the spirit of classad listings."""
+        lines = [
+            f"name     = {self.name}",
+            f"type     = {self.type}",
+            f"owner    = {self.owner}",
+            f"address  = {self.host}:{self.port}",
+            f"total    = {self.total_bytes}",
+            f"free     = {self.free_bytes}",
+            f"uptime   = {self.uptime:.0f}",
+        ]
+        return "\n".join(lines) + "\n"

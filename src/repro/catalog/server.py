@@ -1,0 +1,182 @@
+"""The catalog server: collect UDP reports, publish listings over TCP.
+
+A deployment may run several catalogs, each collecting reports from a
+different (possibly overlapping) subset of file servers -- for redundancy,
+load sharing, or policy (e.g. a private rendezvous catalog for transient
+servers glided into a batch system).  Nothing here coordinates catalogs;
+overlap is handled by clients de-duplicating on the server endpoint.
+
+Query protocol (TCP): the client sends one line, ``query <format>`` where
+format is ``json`` or ``text``; the catalog replies with the document and
+closes the connection.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import socket
+import threading
+import time
+from typing import Callable, Optional
+
+from repro.catalog.report import ServerReport
+from repro.util.wire import LineStream
+
+__all__ = ["CatalogServer"]
+
+log = logging.getLogger("repro.catalog.server")
+
+DEFAULT_LIFETIME = 900.0  # seconds before an unrefreshed entry is dropped
+
+
+class CatalogServer:
+    """A running catalog; context-manager friendly.
+
+    :param lifetime: seconds after which a server that has not re-reported
+        is removed from listings.
+    :param now: clock injection for deterministic tests.
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        lifetime: float = DEFAULT_LIFETIME,
+        now: Callable[[], float] = time.time,
+    ):
+        self.host = host
+        self.port = port
+        self.lifetime = lifetime
+        self.now = now
+        self._entries: dict[tuple[str, int], ServerReport] = {}
+        self._lock = threading.Lock()
+        self._udp: Optional[socket.socket] = None
+        self._tcp: Optional[socket.socket] = None
+        self._threads: list[threading.Thread] = []
+        self._stop = threading.Event()
+        self.address: tuple[str, int] = (host, port)
+
+    # -- lifecycle ------------------------------------------------------
+
+    def start(self) -> "CatalogServer":
+        udp = socket.socket(socket.AF_INET, socket.SOCK_DGRAM)
+        udp.bind((self.host, self.port))
+        # Short poll timeouts make stop() prompt: a blocked recvfrom() is
+        # not reliably woken by closing the socket from another thread.
+        udp.settimeout(0.2)
+        self.address = udp.getsockname()[:2]
+        tcp = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        tcp.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        tcp.bind(self.address)  # same port number, TCP side
+        tcp.listen(64)
+        tcp.settimeout(0.2)
+        self._udp, self._tcp = udp, tcp
+        for target, name in (
+            (self._udp_loop, "catalog-udp"),
+            (self._tcp_loop, "catalog-tcp"),
+        ):
+            t = threading.Thread(target=target, name=name, daemon=True)
+            t.start()
+            self._threads.append(t)
+        log.info("catalog listening on %s", self.address)
+        return self
+
+    def stop(self) -> None:
+        self._stop.set()
+        for sock in (self._udp, self._tcp):
+            if sock is not None:
+                try:
+                    sock.close()
+                except OSError:
+                    pass
+        self._udp = self._tcp = None
+        for t in self._threads:
+            t.join(timeout=5)
+        self._threads.clear()
+
+    def __enter__(self) -> "CatalogServer":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+    # -- report intake ----------------------------------------------------
+
+    def _udp_loop(self) -> None:
+        assert self._udp is not None
+        while not self._stop.is_set():
+            try:
+                data, _addr = self._udp.recvfrom(65536)
+            except socket.timeout:
+                continue
+            except OSError:
+                return
+            self.accept_report(data)
+
+    def accept_report(self, raw: bytes) -> bool:
+        """Ingest one report datagram (also callable directly in tests)."""
+        try:
+            report = ServerReport.from_json(raw)
+        except (ValueError, json.JSONDecodeError) as exc:
+            log.debug("dropping malformed report: %s", exc)
+            return False
+        report.received_at = self.now()
+        with self._lock:
+            self._entries[report.key] = report
+        return True
+
+    # -- listings -----------------------------------------------------------
+
+    def entries(self) -> list[ServerReport]:
+        """Live entries, freshest first; expired entries are purged."""
+        cutoff = self.now() - self.lifetime
+        with self._lock:
+            dead = [k for k, r in self._entries.items() if r.received_at < cutoff]
+            for k in dead:
+                del self._entries[k]
+            live = sorted(
+                self._entries.values(), key=lambda r: r.received_at, reverse=True
+            )
+        return live
+
+    def render(self, fmt: str) -> str:
+        reports = self.entries()
+        if fmt == "json":
+            return json.dumps([r.to_dict() for r in reports], sort_keys=True) + "\n"
+        if fmt == "text":
+            return "\n".join(r.to_text_block() for r in reports)
+        raise ValueError(f"unknown catalog format {fmt!r}")
+
+    # -- query service --------------------------------------------------------
+
+    def _tcp_loop(self) -> None:
+        assert self._tcp is not None
+        while not self._stop.is_set():
+            try:
+                conn, _addr = self._tcp.accept()
+            except socket.timeout:
+                continue
+            except OSError:
+                return
+            conn.settimeout(10.0)
+            t = threading.Thread(
+                target=self._serve_query, args=(conn,), daemon=True
+            )
+            t.start()
+
+    def _serve_query(self, conn: socket.socket) -> None:
+        stream = LineStream(conn)
+        try:
+            tokens = stream.read_tokens()
+            fmt = tokens[1] if len(tokens) > 1 and tokens[0] == "query" else "json"
+            try:
+                body = self.render(fmt)
+            except ValueError as exc:
+                body = json.dumps({"error": str(exc)}) + "\n"
+            stream.write(body.encode("utf-8"))
+        except Exception:
+            pass
+        finally:
+            stream.close()

@@ -1,0 +1,422 @@
+"""The file server's storage backend: a confined local filesystem.
+
+Files and directories are stored *without transformation* in an ordinary
+filesystem under an exported root -- the recursive-abstraction property
+that lets any existing directory be exported as-is, and lets the owner
+inspect what users are doing with ordinary tools.
+
+Responsibilities:
+
+- software chroot (see :mod:`repro.util.paths`),
+- ACL enforcement on every operation, with the owner of the server always
+  retaining full rights ("the owner ... retains access to all data on that
+  server and is free to delete it"),
+- the reserve-right ``mkdir`` semantics,
+- hiding the ACL bookkeeping files from clients,
+- optional quota so tests and abstractions can exercise out-of-space paths.
+
+Rights required per operation (one judgment call documented here: the
+paper presents ``D`` as a way to grant *delete-but-not-modify* to others,
+so deletion is allowed to holders of **either** ``w`` or ``d``; a strict
+D-only rule would leave the paper's own ``v(rwla)`` visitors unable to
+delete their dangling stub files):
+
+===============  ================================================
+open (read)      ``r`` on the containing directory
+open (write)     ``w`` on the containing directory
+stat/access      ``l`` on the containing directory
+getdir           ``l`` on the directory itself
+unlink           ``w`` or ``d`` on the containing directory
+rename           ``w``/``d`` on the source dir, ``w`` on the target dir
+mkdir            ``v`` (reserve semantics) else ``w`` on the parent
+rmdir            ``w`` or ``d`` on the parent; directory must be empty
+getacl           ``l`` on the directory
+setacl           ``a`` on the directory
+===============  ================================================
+"""
+
+from __future__ import annotations
+
+import os
+import posixpath
+import threading
+
+from repro.auth.acl import (
+    ACL_FILE_NAME,
+    Acl,
+    load_acl,
+    store_acl,
+    parse_rights,
+)
+from repro.chirp.protocol import ChirpStat, OpenFlags, StatFs
+from repro.util import checksum as checksum_mod
+from repro.util.errors import (
+    AlreadyExistsError,
+    BadFileDescriptorError,
+    DoesNotExistError,
+    InvalidRequestError,
+    IsADirectoryError_,
+    NoSpaceError,
+    NotAuthorizedError,
+    status_from_exception,
+    error_from_status,
+)
+from repro.util.paths import PathEscapeError, confine, normalize_virtual, split_virtual
+
+__all__ = ["LocalBackend"]
+
+
+def _wrap_os_error(exc: OSError, path: str = "") -> Exception:
+    return error_from_status(status_from_exception(exc), f"{path}: {exc.strerror or exc}")
+
+
+class LocalBackend:
+    """A confined, ACL-enforcing view of a local directory tree.
+
+    One backend serves all connections of one :class:`FileServer`; it is
+    thread-safe (ACL copy-on-write and quota accounting take a lock; plain
+    data-path I/O relies on the kernel as the paper's CFS does).
+    """
+
+    def __init__(
+        self,
+        root: str,
+        owner_subject: str,
+        *,
+        quota_bytes: int | None = None,
+        root_acl: Acl | None = None,
+    ):
+        self.root = os.path.realpath(root)
+        if not os.path.isdir(self.root):
+            raise NotADirectoryError(f"export root {root!r} is not a directory")
+        self.owner_subject = owner_subject
+        self.quota_bytes = quota_bytes
+        self._lock = threading.Lock()
+        if load_acl(self.root) is None:
+            store_acl(self.root, root_acl or Acl.owner_default(owner_subject))
+        elif root_acl is not None:
+            store_acl(self.root, root_acl)
+
+    # ------------------------------------------------------------------
+    # path and ACL plumbing
+    # ------------------------------------------------------------------
+
+    def _real(self, vpath: str) -> str:
+        try:
+            return confine(self.root, vpath)
+        except PathEscapeError as exc:
+            raise NotAuthorizedError(str(exc)) from exc
+
+    @staticmethod
+    def _forbid_acl_name(vpath: str) -> None:
+        if posixpath.basename(normalize_virtual(vpath)) == ACL_FILE_NAME:
+            raise NotAuthorizedError("ACL files are managed via getacl/setacl")
+
+    def effective_acl(self, vdir: str) -> Acl:
+        """The ACL governing a directory: its own, else the nearest ancestor's."""
+        vdir = normalize_virtual(vdir)
+        while True:
+            real = self._real(vdir)
+            acl = load_acl(real) if os.path.isdir(real) else None
+            if acl is not None:
+                return acl
+            if vdir == "/":
+                # Root ACL was created in __init__; reaching here means it
+                # was deleted out from under us -- fail closed.
+                return Acl()
+            vdir = posixpath.dirname(vdir) or "/"
+
+    def _check(self, subject: str, vdir: str, right: str) -> Acl:
+        """Verify ``subject`` holds ``right`` on ``vdir``; returns the ACL."""
+        acl = self.effective_acl(vdir)
+        if subject == self.owner_subject:
+            return acl
+        if not acl.check(subject, right):
+            raise NotAuthorizedError(
+                f"subject {subject!r} lacks right {right!r} on {vdir!r}"
+            )
+        return acl
+
+    def _check_any(self, subject: str, vdir: str, rights: str) -> Acl:
+        """Verify the subject holds at least one of ``rights`` on ``vdir``."""
+        acl = self.effective_acl(vdir)
+        if subject == self.owner_subject:
+            return acl
+        held = acl.rights_for(subject).flags
+        if not (held & set(rights)):
+            raise NotAuthorizedError(
+                f"subject {subject!r} lacks all of {rights!r} on {vdir!r}"
+            )
+        return acl
+
+    # ------------------------------------------------------------------
+    # file I/O
+    # ------------------------------------------------------------------
+
+    def open(self, subject: str, vpath: str, flags: OpenFlags, mode: int) -> int:
+        """Open a file, returning an OS-level file descriptor."""
+        self._forbid_acl_name(vpath)
+        parent, _name = split_virtual(vpath)
+        if flags.write or flags.create or flags.truncate:
+            self._check(subject, parent, "w")
+        else:
+            self._check(subject, parent, "r")
+        real = self._real(vpath)
+        if os.path.isdir(real):
+            raise IsADirectoryError_(vpath)
+        try:
+            return os.open(real, flags.to_os_flags(), mode & 0o777)
+        except OSError as exc:
+            raise _wrap_os_error(exc, vpath) from exc
+
+    def close(self, fd: int) -> None:
+        try:
+            os.close(fd)
+        except OSError as exc:
+            raise BadFileDescriptorError(str(exc)) from exc
+
+    def pread(self, fd: int, length: int, offset: int) -> bytes:
+        if length < 0 or offset < 0:
+            raise InvalidRequestError("negative length or offset")
+        try:
+            return os.pread(fd, length, offset)
+        except OSError as exc:
+            raise _wrap_os_error(exc) from exc
+
+    def pwrite(self, fd: int, data: bytes, offset: int) -> int:
+        if offset < 0:
+            raise InvalidRequestError("negative offset")
+        self._charge_quota(len(data))
+        try:
+            return os.pwrite(fd, data, offset)
+        except OSError as exc:
+            raise _wrap_os_error(exc) from exc
+
+    def fsync(self, fd: int) -> None:
+        try:
+            os.fsync(fd)
+        except OSError as exc:
+            raise _wrap_os_error(exc) from exc
+
+    def fstat(self, fd: int) -> ChirpStat:
+        try:
+            return ChirpStat.from_os(os.fstat(fd))
+        except OSError as exc:
+            raise _wrap_os_error(exc) from exc
+
+    def ftruncate(self, fd: int, size: int) -> None:
+        if size < 0:
+            raise InvalidRequestError("negative size")
+        try:
+            os.ftruncate(fd, size)
+        except OSError as exc:
+            raise _wrap_os_error(exc) from exc
+
+    # ------------------------------------------------------------------
+    # namespace operations
+    # ------------------------------------------------------------------
+
+    def stat(self, subject: str, vpath: str) -> ChirpStat:
+        self._forbid_acl_name(vpath)
+        parent, _ = split_virtual(vpath)
+        self._check(subject, parent, "l")
+        try:
+            return ChirpStat.from_os(os.stat(self._real(vpath)))
+        except OSError as exc:
+            raise _wrap_os_error(exc, vpath) from exc
+
+    def lstat(self, subject: str, vpath: str) -> ChirpStat:
+        self._forbid_acl_name(vpath)
+        parent, _ = split_virtual(vpath)
+        self._check(subject, parent, "l")
+        try:
+            return ChirpStat.from_os(os.lstat(self._real(vpath)))
+        except OSError as exc:
+            raise _wrap_os_error(exc, vpath) from exc
+
+    def access(self, subject: str, vpath: str, rights: str) -> None:
+        """Check existence plus the given rights (string over ``rwld``)."""
+        self._forbid_acl_name(vpath)
+        parent, _ = split_virtual(vpath)
+        for right in rights or "l":
+            self._check(subject, parent, right)
+        if not os.path.exists(self._real(vpath)):
+            raise DoesNotExistError(vpath)
+
+    def unlink(self, subject: str, vpath: str) -> None:
+        self._forbid_acl_name(vpath)
+        parent, name = split_virtual(vpath)
+        if not name:
+            raise InvalidRequestError("cannot unlink the root")
+        self._check_any(subject, parent, "wd")
+        real = self._real(vpath)
+        try:
+            os.unlink(real)
+        except OSError as exc:
+            raise _wrap_os_error(exc, vpath) from exc
+
+    def rename(self, subject: str, vold: str, vnew: str) -> None:
+        self._forbid_acl_name(vold)
+        self._forbid_acl_name(vnew)
+        old_parent, old_name = split_virtual(vold)
+        new_parent, new_name = split_virtual(vnew)
+        if not old_name or not new_name:
+            raise InvalidRequestError("cannot rename the root")
+        self._check_any(subject, old_parent, "wd")
+        self._check(subject, new_parent, "w")
+        try:
+            os.rename(self._real(vold), self._real(vnew))
+        except OSError as exc:
+            raise _wrap_os_error(exc, vold) from exc
+
+    def mkdir(self, subject: str, vpath: str, mode: int) -> None:
+        """Create a directory, applying reserve-right semantics.
+
+        If the subject holds ``v`` on the parent, the new directory gets a
+        fresh ACL granting the subject only the parent's reserve group --
+        the mechanism that lets visiting users carve out private
+        namespaces.  Otherwise ``w`` is required and the directory inherits
+        the parent's ACL dynamically.
+        """
+        self._forbid_acl_name(vpath)
+        parent, name = split_virtual(vpath)
+        if not name:
+            # POSIX: mkdir of an existing directory (the root always
+            # exists) reports EEXIST, which os.makedirs-style callers
+            # tolerate.
+            raise AlreadyExistsError("/")
+        acl = self.effective_acl(parent)
+        rights = acl.rights_for(subject)
+        is_owner = subject == self.owner_subject
+        reserved = "v" in rights.flags and not is_owner
+        if not (is_owner or "v" in rights.flags or "w" in rights.flags):
+            raise NotAuthorizedError(
+                f"subject {subject!r} lacks both w and v on {parent!r}"
+            )
+        real = self._real(vpath)
+        try:
+            os.mkdir(real, mode & 0o777)
+        except OSError as exc:
+            raise _wrap_os_error(exc, vpath) from exc
+        if reserved:
+            store_acl(real, acl.reserved_for(subject))
+
+    def rmdir(self, subject: str, vpath: str) -> None:
+        self._forbid_acl_name(vpath)
+        parent, name = split_virtual(vpath)
+        if not name:
+            raise InvalidRequestError("cannot rmdir the root")
+        self._check_any(subject, parent, "wd")
+        real = self._real(vpath)
+        # A directory whose only content is its ACL file counts as empty.
+        acl_file = os.path.join(real, ACL_FILE_NAME)
+        try:
+            entries = os.listdir(real)
+        except OSError as exc:
+            raise _wrap_os_error(exc, vpath) from exc
+        if entries == [ACL_FILE_NAME]:
+            try:
+                os.unlink(acl_file)
+            except OSError:
+                pass
+        try:
+            os.rmdir(real)
+        except OSError as exc:
+            # Restore the ACL file if the rmdir failed for another reason.
+            raise _wrap_os_error(exc, vpath) from exc
+
+    def getdir(self, subject: str, vpath: str) -> list[str]:
+        self._check(subject, vpath, "l")
+        real = self._real(vpath)
+        try:
+            names = os.listdir(real)
+        except OSError as exc:
+            raise _wrap_os_error(exc, vpath) from exc
+        return sorted(n for n in names if n != ACL_FILE_NAME)
+
+    def truncate(self, subject: str, vpath: str, size: int) -> None:
+        self._forbid_acl_name(vpath)
+        parent, _ = split_virtual(vpath)
+        self._check(subject, parent, "w")
+        if size < 0:
+            raise InvalidRequestError("negative size")
+        try:
+            os.truncate(self._real(vpath), size)
+        except OSError as exc:
+            raise _wrap_os_error(exc, vpath) from exc
+
+    def utime(self, subject: str, vpath: str, atime: int, mtime: int) -> None:
+        self._forbid_acl_name(vpath)
+        parent, _ = split_virtual(vpath)
+        self._check(subject, parent, "w")
+        try:
+            os.utime(self._real(vpath), (atime, mtime))
+        except OSError as exc:
+            raise _wrap_os_error(exc, vpath) from exc
+
+    def checksum(self, subject: str, vpath: str) -> str:
+        """Server-side checksum so auditors avoid reading whole replicas."""
+        self._forbid_acl_name(vpath)
+        parent, _ = split_virtual(vpath)
+        self._check(subject, parent, "r")
+        try:
+            return checksum_mod.file_checksum(self._real(vpath))
+        except OSError as exc:
+            raise _wrap_os_error(exc, vpath) from exc
+
+    # ------------------------------------------------------------------
+    # ACL management
+    # ------------------------------------------------------------------
+
+    def getacl(self, subject: str, vpath: str) -> Acl:
+        self._check(subject, vpath, "l")
+        real = self._real(vpath)
+        if not os.path.isdir(real):
+            raise DoesNotExistError(vpath)
+        return self.effective_acl(vpath)
+
+    def setacl(self, subject: str, vpath: str, pattern: str, rights_text: str) -> None:
+        with self._lock:
+            acl = self._check(subject, vpath, "a")
+            real = self._real(vpath)
+            if not os.path.isdir(real):
+                raise DoesNotExistError(vpath)
+            # Copy-on-write: materialize the inherited ACL before editing,
+            # so the edit affects only this subtree.
+            own = load_acl(real)
+            if own is None:
+                own = Acl(list(acl.entries))
+            rights = parse_rights(rights_text) if rights_text not in ("n", "none") else None
+            if rights is None:
+                own.set_entry(pattern, "")
+            else:
+                own.set_entry(pattern, rights)
+            store_acl(real, own)
+
+    # ------------------------------------------------------------------
+    # capacity
+    # ------------------------------------------------------------------
+
+    def statfs(self) -> StatFs:
+        if self.quota_bytes is not None:
+            used = self._disk_usage()
+            return StatFs(self.quota_bytes, max(0, self.quota_bytes - used))
+        vfs = os.statvfs(self.root)
+        return StatFs(vfs.f_blocks * vfs.f_frsize, vfs.f_bavail * vfs.f_frsize)
+
+    def _disk_usage(self) -> int:
+        total = 0
+        for dirpath, _dirnames, filenames in os.walk(self.root):
+            for name in filenames:
+                try:
+                    total += os.lstat(os.path.join(dirpath, name)).st_size
+                except OSError:
+                    continue
+        return total
+
+    def _charge_quota(self, nbytes: int) -> None:
+        if self.quota_bytes is None or nbytes == 0:
+            return
+        with self._lock:
+            if self._disk_usage() + nbytes > self.quota_bytes:
+                raise NoSpaceError("quota exceeded")

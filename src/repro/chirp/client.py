@@ -1,0 +1,371 @@
+"""Client library for the Chirp protocol.
+
+Mirrors the RPC fragment printed in the paper::
+
+    conn = chirp_connect( host, port, timeout );
+    chirp_open   ( conn, path, flags, mode, timeout );
+    chirp_pread  ( conn, fd, data, length, off, timeout );
+    chirp_pwrite ( conn, fd, data, length, off, timeout );
+    chirp_close  ( conn, fd, timeout );
+    chirp_stat   ( conn, path, statbuf, timeout );
+    chirp_unlink ( conn, path, timeout );
+    chirp_rename ( conn, path, newpath, timeout );
+
+The client is deliberately stateless about file positions: ``pread`` and
+``pwrite`` take explicit offsets, so the *caller* (normally the adapter)
+owns seek state.  File descriptors are valid only for the lifetime of the
+connection; on disconnect the server closes them, and callers recover by
+reconnecting and re-opening (see :mod:`repro.adapter`).
+"""
+
+from __future__ import annotations
+
+import io
+import socket
+import threading
+from typing import BinaryIO, Optional, Union
+
+from repro.auth.acl import Acl, AclEntry, parse_rights
+from repro.auth.methods import ClientCredentials, authenticate_client
+from repro.chirp.protocol import ChirpStat, OpenFlags, StatFs
+from repro.util.errors import (
+    ChirpError,
+    DisconnectedError,
+    TimedOutError,
+    error_from_status,
+)
+from repro.util.wire import LineStream
+
+__all__ = ["ChirpClient"]
+
+_STREAM_CHUNK = 1 << 20
+
+
+class ChirpClient:
+    """A connection to one Chirp file server.
+
+    Thread-safe: a lock serializes RPCs, matching the one-outstanding-call
+    discipline of the original library.  All errors surface as
+    :class:`~repro.util.errors.ChirpError` subclasses.
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        credentials: Optional[ClientCredentials] = None,
+        timeout: float = 30.0,
+    ):
+        self.host = host
+        self.port = port
+        self.credentials = credentials or ClientCredentials()
+        self.timeout = timeout
+        self._lock = threading.RLock()
+        self._stream: Optional[LineStream] = None
+        self.subject: Optional[str] = None
+        #: Incremented on every successful (re)connect.  File descriptors
+        #: are connection-scoped, so holders compare generations to learn
+        #: that their fd died with an old connection (and that a stale fd
+        #: number must never be reused against a newer connection).
+        self.generation = 0
+        self.connect()
+
+    # -- connection management -------------------------------------------
+
+    def connect(self) -> None:
+        """(Re)establish the TCP connection and authenticate."""
+        with self._lock:
+            self.close()
+            try:
+                sock = socket.create_connection(
+                    (self.host, self.port), timeout=self.timeout
+                )
+            except socket.timeout as exc:
+                raise TimedOutError(f"connect to {self.host}:{self.port}") from exc
+            except OSError as exc:
+                raise DisconnectedError(
+                    f"connect to {self.host}:{self.port} failed: {exc}"
+                ) from exc
+            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            stream = LineStream(sock)
+            try:
+                self.subject = authenticate_client(stream, self.credentials)
+            except Exception:
+                stream.close()
+                raise
+            self._stream = stream
+            self.generation += 1
+
+    @property
+    def is_connected(self) -> bool:
+        return self._stream is not None
+
+    def ensure_connected(self) -> None:
+        """Reconnect only if the connection is down.
+
+        Used by handle recovery: when several handles notice the same
+        dead connection, only the first reconnects (one generation bump);
+        the rest just re-open their files on the new connection.
+        """
+        with self._lock:
+            if self._stream is None:
+                self.connect()
+
+    def close(self) -> None:
+        with self._lock:
+            if self._stream is not None:
+                self._stream.close()
+                self._stream = None
+
+    def __enter__(self) -> "ChirpClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "connected" if self.is_connected else "closed"
+        return f"ChirpClient({self.host}:{self.port}, {state}, subject={self.subject})"
+
+    # -- RPC plumbing -------------------------------------------------------
+
+    def _require_stream(self) -> LineStream:
+        if self._stream is None:
+            raise DisconnectedError("client is not connected")
+        return self._stream
+
+    def _rpc(self, *tokens: object, payload: bytes | None = None) -> list[str]:
+        """Send one request, return reply tokens after the status.
+
+        On failure the stream is torn down (a half-completed exchange can
+        never be resynchronized) and :class:`DisconnectedError` propagates.
+        """
+        with self._lock:
+            stream = self._require_stream()
+            try:
+                stream.write_line(*tokens)
+                if payload:
+                    stream.write(payload)
+                reply = stream.read_tokens()
+            except (DisconnectedError, socket.timeout) as exc:
+                self._teardown()
+                if isinstance(exc, socket.timeout):
+                    raise TimedOutError(str(tokens[0])) from exc
+                raise
+            if not reply:
+                self._teardown()
+                raise DisconnectedError("empty reply line")
+            status = int(reply[0])
+            if status < 0:
+                message = reply[1] if len(reply) > 1 else ""
+                raise error_from_status(status, message)
+            return reply
+
+    def _teardown(self) -> None:
+        if self._stream is not None:
+            self._stream.close()
+            self._stream = None
+
+    # -- file I/O -------------------------------------------------------
+
+    def open(
+        self,
+        path: str,
+        flags: Union[str, OpenFlags] = "r",
+        mode: int = 0o644,
+    ) -> int:
+        """Open a remote file; returns a connection-scoped fd."""
+        if isinstance(flags, str):
+            try:
+                flags = OpenFlags.decode(flags)
+            except ChirpError:
+                flags = OpenFlags.parse_mode_string(flags)
+        reply = self._rpc("open", path, flags.encode(), mode)
+        return int(reply[0])
+
+    def close_fd(self, fd: int) -> None:
+        self._rpc("close", fd)
+
+    def pread(self, fd: int, length: int, offset: int) -> bytes:
+        with self._lock:
+            stream = self._require_stream()
+            try:
+                stream.write_line("pread", fd, length, offset)
+                reply = stream.read_tokens()
+                status = int(reply[0])
+                if status < 0:
+                    raise error_from_status(status, reply[1] if len(reply) > 1 else "")
+                return stream.read_exact(status)
+            except DisconnectedError:
+                self._teardown()
+                raise
+
+    def pwrite(self, fd: int, data: bytes, offset: int) -> int:
+        reply = self._rpc("pwrite", fd, len(data), offset, payload=bytes(data))
+        return int(reply[0])
+
+    def fsync(self, fd: int) -> None:
+        self._rpc("fsync", fd)
+
+    def fstat(self, fd: int) -> ChirpStat:
+        reply = self._rpc("fstat", fd)
+        return ChirpStat.from_tokens(reply[1:])
+
+    def ftruncate(self, fd: int, size: int) -> None:
+        self._rpc("ftruncate", fd, size)
+
+    # -- namespace ------------------------------------------------------
+
+    def stat(self, path: str) -> ChirpStat:
+        reply = self._rpc("stat", path)
+        return ChirpStat.from_tokens(reply[1:])
+
+    def lstat(self, path: str) -> ChirpStat:
+        reply = self._rpc("lstat", path)
+        return ChirpStat.from_tokens(reply[1:])
+
+    def access(self, path: str, rights: str = "l") -> None:
+        self._rpc("access", path, rights)
+
+    def exists(self, path: str) -> bool:
+        """Convenience: stat without raising for a missing path."""
+        try:
+            self.stat(path)
+            return True
+        except ChirpError:
+            return False
+
+    def unlink(self, path: str) -> None:
+        self._rpc("unlink", path)
+
+    def rename(self, old: str, new: str) -> None:
+        self._rpc("rename", old, new)
+
+    def mkdir(self, path: str, mode: int = 0o755) -> None:
+        self._rpc("mkdir", path, mode)
+
+    def rmdir(self, path: str) -> None:
+        self._rpc("rmdir", path)
+
+    def getdir(self, path: str) -> list[str]:
+        with self._lock:
+            stream = self._require_stream()
+            try:
+                stream.write_line("getdir", path)
+                reply = stream.read_tokens()
+                status = int(reply[0])
+                if status < 0:
+                    raise error_from_status(status, reply[1] if len(reply) > 1 else "")
+                names = []
+                for _ in range(status):
+                    toks = stream.read_tokens()
+                    names.append(toks[0] if toks else "")
+                return names
+            except DisconnectedError:
+                self._teardown()
+                raise
+
+    def truncate(self, path: str, size: int) -> None:
+        self._rpc("truncate", path, size)
+
+    def utime(self, path: str, atime: int, mtime: int) -> None:
+        self._rpc("utime", path, atime, mtime)
+
+    def checksum(self, path: str) -> str:
+        reply = self._rpc("checksum", path)
+        return reply[1]
+
+    # -- streaming whole files -------------------------------------------
+
+    def getfile(self, path: str, sink: Optional[BinaryIO] = None) -> bytes | int:
+        """Stream a whole file.
+
+        With no ``sink``, returns the contents as bytes.  With a ``sink``,
+        streams into it and returns the byte count (never materializing
+        the file in client memory).
+        """
+        with self._lock:
+            stream = self._require_stream()
+            try:
+                stream.write_line("getfile", path)
+                reply = stream.read_tokens()
+                status = int(reply[0])
+                if status < 0:
+                    raise error_from_status(status, reply[1] if len(reply) > 1 else "")
+                if sink is None:
+                    buf = io.BytesIO()
+                    stream.read_into_file(buf, status, _STREAM_CHUNK)
+                    return buf.getvalue()
+                stream.read_into_file(sink, status, _STREAM_CHUNK)
+                return status
+            except DisconnectedError:
+                self._teardown()
+                raise
+
+    def putfile(
+        self,
+        path: str,
+        data: Union[bytes, BinaryIO],
+        mode: int = 0o644,
+        length: Optional[int] = None,
+    ) -> int:
+        """Stream a whole file to the server (create/truncate semantics)."""
+        with self._lock:
+            stream = self._require_stream()
+            if isinstance(data, (bytes, bytearray, memoryview)):
+                payload: Optional[bytes] = bytes(data)
+                total = len(payload)
+            else:
+                payload = None
+                if length is None:
+                    pos = data.tell()
+                    data.seek(0, io.SEEK_END)
+                    length = data.tell() - pos
+                    data.seek(pos)
+                total = length
+            try:
+                stream.write_line("putfile", path, mode, total)
+                if payload is not None:
+                    stream.write(payload)
+                else:
+                    stream.write_from_file(data, total, _STREAM_CHUNK)
+                reply = stream.read_tokens()
+                status = int(reply[0])
+                if status < 0:
+                    raise error_from_status(status, reply[1] if len(reply) > 1 else "")
+                return status
+            except DisconnectedError:
+                self._teardown()
+                raise
+
+    # -- ACLs and server state ---------------------------------------------
+
+    def getacl(self, path: str) -> Acl:
+        with self._lock:
+            stream = self._require_stream()
+            try:
+                stream.write_line("getacl", path)
+                reply = stream.read_tokens()
+                status = int(reply[0])
+                if status < 0:
+                    raise error_from_status(status, reply[1] if len(reply) > 1 else "")
+                entries = []
+                for _ in range(status):
+                    toks = stream.read_tokens()
+                    if len(toks) == 2:
+                        entries.append(AclEntry(toks[0], parse_rights(toks[1])))
+                return Acl(entries)
+            except DisconnectedError:
+                self._teardown()
+                raise
+
+    def setacl(self, path: str, pattern: str, rights: str) -> None:
+        self._rpc("setacl", path, pattern, rights)
+
+    def whoami(self) -> str:
+        reply = self._rpc("whoami")
+        return reply[1]
+
+    def statfs(self) -> StatFs:
+        reply = self._rpc("statfs")
+        return StatFs.from_tokens(reply[1:])

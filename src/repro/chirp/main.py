@@ -1,0 +1,91 @@
+"""Command-line entry point: deploy a file server with one command.
+
+The paper's rapid-deployment principle: "A basic file server can be
+deployed by an ordinary user, who runs a single command with no
+configuration, setup, or software installation."
+
+::
+
+    tss-server --root /scratch/me --owner unix:me --port 9094 \
+               --catalog catalog.cse.nd.edu:9097
+"""
+
+from __future__ import annotations
+
+import argparse
+import getpass
+import logging
+import signal
+import threading
+
+from repro.auth.methods import AuthContext
+from repro.chirp.server import FileServer, ServerConfig
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="tss-server", description="Deploy a Chirp personal file server."
+    )
+    parser.add_argument("--root", default=".", help="directory to export (default: cwd)")
+    parser.add_argument(
+        "--owner",
+        default=f"unix:{getpass.getuser()}",
+        help="owner subject (default: unix:<current user>)",
+    )
+    parser.add_argument("--host", default="0.0.0.0")
+    parser.add_argument("--port", type=int, default=9094)
+    parser.add_argument("--name", default="", help="advertised server name")
+    parser.add_argument(
+        "--auth",
+        default="hostname,unix",
+        help="comma-separated auth methods to enable",
+    )
+    parser.add_argument(
+        "--catalog",
+        action="append",
+        default=[],
+        metavar="HOST:PORT",
+        help="catalog to report to (repeatable)",
+    )
+    parser.add_argument("--report-interval", type=float, default=60.0)
+    parser.add_argument("--quota-bytes", type=int, default=None)
+    parser.add_argument("--verbose", action="store_true")
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    logging.basicConfig(
+        level=logging.DEBUG if args.verbose else logging.INFO,
+        format="%(asctime)s %(name)s %(levelname)s %(message)s",
+    )
+    catalogs = []
+    for spec in args.catalog:
+        host, _, port = spec.rpartition(":")
+        catalogs.append((host, int(port)))
+    config = ServerConfig(
+        root=args.root,
+        owner=args.owner,
+        host=args.host,
+        port=args.port,
+        name=args.name,
+        auth=AuthContext(enabled=tuple(args.auth.split(","))),
+        catalog_addrs=tuple(catalogs),
+        report_interval=args.report_interval,
+        quota_bytes=args.quota_bytes,
+    )
+    server = FileServer(config)
+    server.start()
+    print(f"tss-server: exporting {args.root} on {server.address[0]}:{server.address[1]}")
+    stop = threading.Event()
+    signal.signal(signal.SIGINT, lambda *_: stop.set())
+    signal.signal(signal.SIGTERM, lambda *_: stop.set())
+    stop.wait()
+    server.stop()
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

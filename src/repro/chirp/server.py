@@ -1,0 +1,442 @@
+"""The Chirp personal file server.
+
+Deployable by an ordinary user with one call::
+
+    server = FileServer(ServerConfig(root="/scratch/me", owner="unix:me"))
+    server.start()
+
+One thread accepts connections; one thread per connection authenticates
+the client and then serves Unix-like RPCs against the
+:class:`~repro.chirp.backend.LocalBackend`.  A reporter thread announces
+the server to its catalogs over UDP.  Failure semantics follow the paper:
+when a connection drops, every resource associated with it -- in
+particular all open file descriptors -- is freed immediately.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import os
+import socket
+import threading
+import time
+from dataclasses import dataclass, field
+
+from repro.auth.acl import load_acl
+from repro.auth.methods import AuthContext, AuthFailed, authenticate_server
+from repro.chirp.backend import LocalBackend
+from repro.chirp.protocol import OpenFlags, PROTOCOL_VERSION, VERBS
+from repro.util.errors import (
+    BadFileDescriptorError,
+    ChirpError,
+    DisconnectedError,
+    InvalidRequestError,
+    StatusCode,
+    status_from_exception,
+)
+from repro.util.wire import LineStream
+
+__all__ = ["ServerConfig", "FileServer"]
+
+log = logging.getLogger("repro.chirp.server")
+
+_DRAIN_CHUNK = 1 << 20
+
+
+@dataclass
+class ServerConfig:
+    """Everything needed to deploy a file server.
+
+    The defaults make "run one command with no configuration" true: an
+    ephemeral port on loopback, hostname+unix auth, and no catalogs.
+    """
+
+    root: str
+    owner: str
+    host: str = "127.0.0.1"
+    port: int = 0
+    name: str = ""
+    auth: AuthContext = field(default_factory=AuthContext)
+    catalog_addrs: tuple[tuple[str, int], ...] = ()
+    report_interval: float = 5.0
+    quota_bytes: int | None = None
+    max_open_files: int = 256
+
+
+class _Connection:
+    """Per-connection state: the stream, the subject, and the fd table."""
+
+    def __init__(self, stream: LineStream, subject: str, max_open: int):
+        self.stream = stream
+        self.subject = subject
+        self.max_open = max_open
+        self.fds: dict[int, int] = {}  # client fd -> OS fd
+        self.next_fd = 3
+
+    def install_fd(self, os_fd: int) -> int:
+        if len(self.fds) >= self.max_open:
+            os.close(os_fd)
+            from repro.util.errors import TooManyOpenError
+
+            raise TooManyOpenError("per-connection open file limit")
+        cfd = self.next_fd
+        self.next_fd += 1
+        self.fds[cfd] = os_fd
+        return cfd
+
+    def lookup_fd(self, cfd: int) -> int:
+        try:
+            return self.fds[cfd]
+        except KeyError:
+            raise BadFileDescriptorError(f"fd {cfd}") from None
+
+    def drop_fd(self, cfd: int) -> int:
+        try:
+            return self.fds.pop(cfd)
+        except KeyError:
+            raise BadFileDescriptorError(f"fd {cfd}") from None
+
+    def close_all(self) -> None:
+        for os_fd in self.fds.values():
+            try:
+                os.close(os_fd)
+            except OSError:
+                pass
+        self.fds.clear()
+
+
+class FileServer:
+    """A running Chirp file server; also usable as a context manager."""
+
+    def __init__(self, config: ServerConfig):
+        self.config = config
+        self.backend = LocalBackend(
+            config.root, config.owner, quota_bytes=config.quota_bytes
+        )
+        self._listener: socket.socket | None = None
+        self._threads: list[threading.Thread] = []
+        self._conn_socks: set[socket.socket] = set()
+        self._conn_lock = threading.Lock()
+        self._stop = threading.Event()
+        self._started_at = 0.0
+        self.address: tuple[str, int] = (config.host, config.port)
+
+    # -- lifecycle ------------------------------------------------------
+
+    def start(self) -> "FileServer":
+        if self._listener is not None:
+            raise RuntimeError("server already started")
+        sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        sock.bind((self.config.host, self.config.port))
+        sock.listen(128)
+        # Poll timeout so stop() is prompt even where closing a socket
+        # does not wake a blocked accept().
+        sock.settimeout(0.2)
+        self._listener = sock
+        self.address = sock.getsockname()[:2]
+        self._started_at = time.time()
+        accept_thread = threading.Thread(
+            target=self._accept_loop, name=f"chirp-accept-{self.address[1]}", daemon=True
+        )
+        accept_thread.start()
+        self._threads.append(accept_thread)
+        if self.config.catalog_addrs:
+            reporter = threading.Thread(
+                target=self._report_loop, name="chirp-reporter", daemon=True
+            )
+            reporter.start()
+            self._threads.append(reporter)
+        log.info("file server %s listening on %s", self.name, self.address)
+        return self
+
+    def stop(self) -> None:
+        self._stop.set()
+        if self._listener is not None:
+            try:
+                self._listener.close()
+            except OSError:
+                pass
+            self._listener = None
+        with self._conn_lock:
+            socks = list(self._conn_socks)
+        for s in socks:
+            try:
+                s.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+            try:
+                s.close()
+            except OSError:
+                pass
+        for t in self._threads:
+            t.join(timeout=5)
+        self._threads.clear()
+
+    def __enter__(self) -> "FileServer":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+    @property
+    def name(self) -> str:
+        return self.config.name or f"{self.address[0]}:{self.address[1]}"
+
+    # -- accept / serve ---------------------------------------------------
+
+    def _accept_loop(self) -> None:
+        assert self._listener is not None
+        while not self._stop.is_set():
+            try:
+                conn, addr = self._listener.accept()
+            except socket.timeout:
+                continue
+            except OSError:
+                return  # listener closed
+            conn.settimeout(None)
+            with self._conn_lock:
+                self._conn_socks.add(conn)
+            t = threading.Thread(
+                target=self._serve_connection,
+                args=(conn, addr),
+                name=f"chirp-conn-{addr[1]}",
+                daemon=True,
+            )
+            t.start()
+
+    def _serve_connection(self, sock: socket.socket, addr) -> None:
+        sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        stream = LineStream(sock)
+        conn: _Connection | None = None
+        try:
+            subject = authenticate_server(stream, self.config.auth, addr[0])
+            conn = _Connection(stream, subject, self.config.max_open_files)
+            log.debug("connection from %s authenticated as %s", addr, subject)
+            while not self._stop.is_set():
+                tokens = stream.read_tokens()
+                if not tokens:
+                    continue
+                self._dispatch(conn, tokens)
+        except (DisconnectedError, AuthFailed):
+            pass
+        except Exception:  # pragma: no cover - diagnostic guard
+            log.exception("connection handler crashed")
+        finally:
+            # Failure semantics: free everything on disconnect.
+            if conn is not None:
+                conn.close_all()
+            stream.close()
+            with self._conn_lock:
+                self._conn_socks.discard(sock)
+
+    # -- dispatch ---------------------------------------------------------
+
+    def _dispatch(self, conn: _Connection, tokens: list[str]) -> None:
+        verb = tokens[0]
+        args = tokens[1:]
+        if verb not in VERBS:
+            conn.stream.write_line(int(StatusCode.INVALID_REQUEST), f"unknown verb {verb}")
+            return
+        handler = getattr(self, f"_op_{verb}")
+        try:
+            handler(conn, args)
+        except ChirpError as exc:
+            conn.stream.write_line(int(exc.status), str(exc))
+        except DisconnectedError:
+            raise
+        except (ValueError, IndexError) as exc:
+            conn.stream.write_line(int(StatusCode.INVALID_REQUEST), str(exc))
+        except OSError as exc:
+            conn.stream.write_line(int(status_from_exception(exc)), str(exc))
+
+    # Each _op_* reads any request payload, performs the operation, and
+    # writes exactly one status line (plus reply payload where defined).
+
+    def _op_open(self, conn: _Connection, args: list[str]) -> None:
+        path, flags_text, mode_text = args
+        flags = OpenFlags.decode(flags_text)
+        os_fd = self.backend.open(conn.subject, path, flags, int(mode_text))
+        cfd = conn.install_fd(os_fd)
+        conn.stream.write_line(cfd)
+
+    def _op_close(self, conn: _Connection, args: list[str]) -> None:
+        os_fd = conn.drop_fd(int(args[0]))
+        self.backend.close(os_fd)
+        conn.stream.write_line(0)
+
+    def _op_pread(self, conn: _Connection, args: list[str]) -> None:
+        cfd, length, offset = int(args[0]), int(args[1]), int(args[2])
+        data = self.backend.pread(conn.lookup_fd(cfd), length, offset)
+        conn.stream.write_line(len(data))
+        if data:
+            conn.stream.write(data)
+
+    def _op_pwrite(self, conn: _Connection, args: list[str]) -> None:
+        cfd, length, offset = int(args[0]), int(args[1]), int(args[2])
+        data = conn.stream.read_exact(length)
+        try:
+            os_fd = conn.lookup_fd(cfd)
+        except BadFileDescriptorError:
+            conn.stream.write_line(int(StatusCode.BAD_FD), f"fd {cfd}")
+            return
+        n = self.backend.pwrite(os_fd, data, offset)
+        conn.stream.write_line(n)
+
+    def _op_fsync(self, conn: _Connection, args: list[str]) -> None:
+        self.backend.fsync(conn.lookup_fd(int(args[0])))
+        conn.stream.write_line(0)
+
+    def _op_fstat(self, conn: _Connection, args: list[str]) -> None:
+        st = self.backend.fstat(conn.lookup_fd(int(args[0])))
+        conn.stream.write_line(0, *st.to_tokens())
+
+    def _op_ftruncate(self, conn: _Connection, args: list[str]) -> None:
+        self.backend.ftruncate(conn.lookup_fd(int(args[0])), int(args[1]))
+        conn.stream.write_line(0)
+
+    def _op_stat(self, conn: _Connection, args: list[str]) -> None:
+        st = self.backend.stat(conn.subject, args[0])
+        conn.stream.write_line(0, *st.to_tokens())
+
+    def _op_lstat(self, conn: _Connection, args: list[str]) -> None:
+        st = self.backend.lstat(conn.subject, args[0])
+        conn.stream.write_line(0, *st.to_tokens())
+
+    def _op_access(self, conn: _Connection, args: list[str]) -> None:
+        self.backend.access(conn.subject, args[0], args[1] if len(args) > 1 else "l")
+        conn.stream.write_line(0)
+
+    def _op_unlink(self, conn: _Connection, args: list[str]) -> None:
+        self.backend.unlink(conn.subject, args[0])
+        conn.stream.write_line(0)
+
+    def _op_rename(self, conn: _Connection, args: list[str]) -> None:
+        self.backend.rename(conn.subject, args[0], args[1])
+        conn.stream.write_line(0)
+
+    def _op_mkdir(self, conn: _Connection, args: list[str]) -> None:
+        self.backend.mkdir(conn.subject, args[0], int(args[1]) if len(args) > 1 else 0o755)
+        conn.stream.write_line(0)
+
+    def _op_rmdir(self, conn: _Connection, args: list[str]) -> None:
+        self.backend.rmdir(conn.subject, args[0])
+        conn.stream.write_line(0)
+
+    def _op_getdir(self, conn: _Connection, args: list[str]) -> None:
+        names = self.backend.getdir(conn.subject, args[0])
+        conn.stream.write_line(len(names))
+        for name in names:
+            conn.stream.write_line(name)
+
+    def _op_getfile(self, conn: _Connection, args: list[str]) -> None:
+        path = args[0]
+        flags = OpenFlags(read=True)
+        os_fd = self.backend.open(conn.subject, path, flags, 0)
+        try:
+            size = os.fstat(os_fd).st_size
+            conn.stream.write_line(size)
+            with os.fdopen(os.dup(os_fd), "rb") as f:
+                conn.stream.write_from_file(f, size)
+        finally:
+            os.close(os_fd)
+
+    def _op_putfile(self, conn: _Connection, args: list[str]) -> None:
+        path, mode_text, length_text = args
+        length = int(length_text)
+        if length < 0:
+            raise InvalidRequestError("negative putfile length")
+        flags = OpenFlags(write=True, create=True, truncate=True)
+        try:
+            os_fd = self.backend.open(conn.subject, path, flags, int(mode_text))
+        except ChirpError as exc:
+            self._drain(conn.stream, length)
+            conn.stream.write_line(int(exc.status), str(exc))
+            return
+        try:
+            self.backend._charge_quota(length)
+        except ChirpError as exc:
+            os.close(os_fd)
+            self._drain(conn.stream, length)
+            conn.stream.write_line(int(exc.status), str(exc))
+            return
+        try:
+            with os.fdopen(os.dup(os_fd), "wb") as f:
+                conn.stream.read_into_file(f, length)
+        finally:
+            os.close(os_fd)
+        conn.stream.write_line(length)
+
+    @staticmethod
+    def _drain(stream: LineStream, length: int) -> None:
+        """Discard a request payload so the stream stays in sync."""
+        remaining = length
+        while remaining > 0:
+            chunk = stream.read_exact(min(_DRAIN_CHUNK, remaining))
+            remaining -= len(chunk)
+
+    def _op_getacl(self, conn: _Connection, args: list[str]) -> None:
+        acl = self.backend.getacl(conn.subject, args[0])
+        conn.stream.write_line(len(acl))
+        for entry in acl:
+            conn.stream.write_line(entry.pattern, str(entry.rights))
+
+    def _op_setacl(self, conn: _Connection, args: list[str]) -> None:
+        path, pattern, rights_text = args
+        self.backend.setacl(conn.subject, path, pattern, rights_text)
+        conn.stream.write_line(0)
+
+    def _op_whoami(self, conn: _Connection, args: list[str]) -> None:
+        conn.stream.write_line(0, conn.subject)
+
+    def _op_statfs(self, conn: _Connection, args: list[str]) -> None:
+        fs = self.backend.statfs()
+        conn.stream.write_line(0, *fs.to_tokens())
+
+    def _op_truncate(self, conn: _Connection, args: list[str]) -> None:
+        self.backend.truncate(conn.subject, args[0], int(args[1]))
+        conn.stream.write_line(0)
+
+    def _op_utime(self, conn: _Connection, args: list[str]) -> None:
+        self.backend.utime(conn.subject, args[0], int(args[1]), int(args[2]))
+        conn.stream.write_line(0)
+
+    def _op_checksum(self, conn: _Connection, args: list[str]) -> None:
+        digest = self.backend.checksum(conn.subject, args[0])
+        conn.stream.write_line(0, digest)
+
+    # -- catalog reporting --------------------------------------------------
+
+    def build_report(self) -> dict:
+        """The JSON document periodically sent to catalogs."""
+        fs = self.backend.statfs()
+        root_acl = load_acl(self.backend.root)
+        return {
+            "type": "chirp",
+            "name": self.name,
+            "owner": self.config.owner,
+            "host": self.address[0],
+            "port": self.address[1],
+            "version": PROTOCOL_VERSION,
+            "total_bytes": fs.total_bytes,
+            "free_bytes": fs.free_bytes,
+            "root_acl": root_acl.to_text() if root_acl else "",
+            "uptime": time.time() - self._started_at,
+            "report_time": time.time(),
+        }
+
+    def report_now(self) -> None:
+        """Send one report to every configured catalog (used by tests)."""
+        payload = json.dumps(self.build_report()).encode("utf-8")
+        with socket.socket(socket.AF_INET, socket.SOCK_DGRAM) as s:
+            for addr in self.config.catalog_addrs:
+                try:
+                    s.sendto(payload, addr)
+                except OSError:
+                    log.warning("catalog report to %s failed", addr)
+
+    def _report_loop(self) -> None:
+        while not self._stop.is_set():
+            self.report_now()
+            self._stop.wait(self.config.report_interval)

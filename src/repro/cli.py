@@ -1,0 +1,228 @@
+"""``tss``: a small command-line tool over the adapter namespace.
+
+The paper's promise is that a deployed server is "instantly and securely
+accessible by a variety of tools"; this is the reference tool.  Paths use
+the adapter namespace (``/cfs/host:port/...``, ``/dsfs/host:port@vol/...``).
+
+::
+
+    tss ls /cfs/localhost:9094/
+    tss put local.dat /cfs/localhost:9094/data/remote.dat
+    tss cat /cfs/localhost:9094/data/remote.dat
+    tss acl get /cfs/localhost:9094/data
+    tss acl set /cfs/localhost:9094/data 'hostname:*.cse.nd.edu' rwl
+    tss catalog localhost:9097
+"""
+
+from __future__ import annotations
+
+import argparse
+import stat as stat_mod
+import sys
+
+from repro.adapter.adapter import Adapter
+from repro.catalog.client import query_catalog
+
+__all__ = ["main"]
+
+
+def _endpoint_of(path: str) -> tuple[str, int, str]:
+    """Split /cfs/host:port/inner into its pieces (for ACL commands)."""
+    parts = path.strip("/").split("/")
+    if len(parts) < 2 or parts[0] not in ("cfs", "dsfs"):
+        raise SystemExit(f"tss: {path}: expected /cfs/<host:port>/...")
+    spec = parts[1].split("@")[0]
+    host, _, port = spec.rpartition(":")
+    inner = "/" + "/".join(parts[2:])
+    return host, int(port), inner
+
+
+def _cmd_ls(adapter: Adapter, args) -> int:
+    for name in adapter.listdir(args.path):
+        if args.long:
+            st = adapter.stat(args.path.rstrip("/") + "/" + name)
+            kind = "d" if stat_mod.S_ISDIR(st.st_mode) else "-"
+            print(f"{kind} {st.st_size:12d} {name}")
+        else:
+            print(name)
+    return 0
+
+
+def _cmd_cat(adapter: Adapter, args) -> int:
+    sys.stdout.buffer.write(adapter.read_bytes(args.path))
+    return 0
+
+
+def _cmd_put(adapter: Adapter, args) -> int:
+    with open(args.local, "rb") as f:
+        data = f.read()
+    n = adapter.write_bytes(args.remote, data)
+    print(f"wrote {n} bytes to {args.remote}")
+    return 0
+
+
+def _cmd_get(adapter: Adapter, args) -> int:
+    data = adapter.read_bytes(args.remote)
+    with open(args.local, "wb") as f:
+        f.write(data)
+    print(f"fetched {len(data)} bytes to {args.local}")
+    return 0
+
+
+def _cmd_rm(adapter: Adapter, args) -> int:
+    adapter.unlink(args.path)
+    return 0
+
+
+def _cmd_mkdir(adapter: Adapter, args) -> int:
+    adapter.makedirs(args.path) if args.parents else adapter.mkdir(args.path)
+    return 0
+
+
+def _cmd_stat(adapter: Adapter, args) -> int:
+    st = adapter.stat(args.path)
+    print(f"size  {st.st_size}")
+    print(f"mode  {oct(st.st_mode)}")
+    print(f"inode {st.st_ino}")
+    print(f"mtime {st.st_mtime}")
+    return 0
+
+
+def _cmd_statfs(adapter: Adapter, args) -> int:
+    fs = adapter.statfs(args.path)
+    print(f"total {fs.total_bytes}")
+    print(f"free  {fs.free_bytes}")
+    return 0
+
+
+def _cmd_acl(adapter: Adapter, args) -> int:
+    host, port, inner = _endpoint_of(args.path)
+    client = adapter.pool.get(host, port)
+    if args.acl_op == "get":
+        sys.stdout.write(client.getacl(inner).to_text())
+    else:
+        client.setacl(inner, args.subject, args.rights)
+    return 0
+
+
+def _cmd_whoami(adapter: Adapter, args) -> int:
+    host, port, _ = _endpoint_of(args.path)
+    print(adapter.pool.get(host, port).whoami())
+    return 0
+
+
+def _cmd_catalog(adapter: Adapter, args) -> int:
+    host, _, port = args.catalog.rpartition(":")
+    sys.stdout.write(query_catalog(host, int(port), args.format))
+    return 0
+
+
+def _cmd_fsck(adapter: Adapter, args) -> int:
+    from repro.core.dsfs import DSFS
+    from repro.core.fsck import fsck_volume
+
+    parts = args.volume.strip("/").split("/")
+    if len(parts) != 2 or parts[0] != "dsfs" or "@" not in parts[1]:
+        raise SystemExit("tss fsck expects /dsfs/<host:port>@<volume>")
+    endpoint_text, _, volume = parts[1].partition("@")
+    host, _, port = endpoint_text.rpartition(":")
+    fs = DSFS.open_volume(adapter.pool, host, int(port), "/" + volume)
+    report = fsck_volume(
+        fs, remove_dangling=args.repair, remove_orphans=args.repair
+    )
+    print(f"checked   {report.files_checked} files, {report.directories_checked} dirs")
+    print(f"healthy   {report.healthy}")
+    for path, reason in report.dangling_stubs.items():
+        print(f"dangling  {path}  ({reason})")
+    for host_, port_, path in report.orphan_data:
+        print(f"orphan    {host_}:{port_}{path}")
+    if args.repair:
+        print(f"removed   {report.removed_stubs} stubs, {report.removed_orphans} orphans")
+    print("clean" if report.clean else "NOT CLEAN")
+    return 0 if (report.clean or args.repair) else 1
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(prog="tss", description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("ls", help="list a directory")
+    p.add_argument("path")
+    p.add_argument("-l", "--long", action="store_true")
+    p.set_defaults(fn=_cmd_ls)
+
+    p = sub.add_parser("cat", help="print a file")
+    p.add_argument("path")
+    p.set_defaults(fn=_cmd_cat)
+
+    p = sub.add_parser("put", help="upload a local file")
+    p.add_argument("local")
+    p.add_argument("remote")
+    p.set_defaults(fn=_cmd_put)
+
+    p = sub.add_parser("get", help="download to a local file")
+    p.add_argument("remote")
+    p.add_argument("local")
+    p.set_defaults(fn=_cmd_get)
+
+    p = sub.add_parser("rm", help="delete a file")
+    p.add_argument("path")
+    p.set_defaults(fn=_cmd_rm)
+
+    p = sub.add_parser("mkdir", help="create a directory")
+    p.add_argument("path")
+    p.add_argument("-p", "--parents", action="store_true")
+    p.set_defaults(fn=_cmd_mkdir)
+
+    p = sub.add_parser("stat", help="show file metadata")
+    p.add_argument("path")
+    p.set_defaults(fn=_cmd_stat)
+
+    p = sub.add_parser("statfs", help="show capacity")
+    p.add_argument("path")
+    p.set_defaults(fn=_cmd_statfs)
+
+    p = sub.add_parser("acl", help="get or set directory ACLs")
+    p.add_argument("acl_op", choices=("get", "set"))
+    p.add_argument("path")
+    p.add_argument("subject", nargs="?")
+    p.add_argument("rights", nargs="?")
+    p.set_defaults(fn=_cmd_acl)
+
+    p = sub.add_parser("whoami", help="show the authenticated subject")
+    p.add_argument("path", help="any path on the target server")
+    p.set_defaults(fn=_cmd_whoami)
+
+    p = sub.add_parser("catalog", help="query a catalog server")
+    p.add_argument("catalog", metavar="HOST:PORT")
+    p.add_argument("--format", default="text", choices=("text", "json"))
+    p.set_defaults(fn=_cmd_catalog)
+
+    p = sub.add_parser("fsck", help="audit (and repair) a DSFS volume")
+    p.add_argument("volume", metavar="/dsfs/HOST:PORT@VOLUME")
+    p.add_argument("--repair", action="store_true",
+                   help="remove dangling stubs and orphan data files")
+    p.set_defaults(fn=_cmd_fsck)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "acl" and args.acl_op == "set" and not (
+        args.subject and args.rights
+    ):
+        print("tss acl set needs SUBJECT and RIGHTS", file=sys.stderr)
+        return 2
+    adapter = Adapter()
+    try:
+        return args.fn(adapter, args)
+    except OSError as exc:
+        print(f"tss: {exc}", file=sys.stderr)
+        return 1
+    finally:
+        adapter.close()
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,379 @@
+"""DSDB: the distributed shared database.
+
+"The DSDB is similar to the DSFS, except that a database server is used
+to store file metadata as well as pointers to files.  A user queries the
+database to yield the names of matching files, and then accesses them
+directly with the adapter."
+
+A DSDB record is a JSON object carrying user metadata plus the fields the
+system maintains::
+
+    {
+      "id": ...,  "tss_kind": "file",  "name": "run5/traj.dcd",
+      "size": 1048576,  "checksum": "…",
+      "replicas": [ {"host": h, "port": p, "path": "/tssdata/vol/file-…",
+                     "state": "ok"|"damaged"|"missing", …}, … ],
+    }
+
+Replication, auditing, and repair policies live in :mod:`repro.gems`;
+this class provides the mechanism: ingest, query, direct fetch with
+failover across replicas, replica add/remove, delete.
+"""
+
+from __future__ import annotations
+
+import io
+import tempfile
+from typing import BinaryIO, Optional, Protocol, Sequence, Union
+
+from repro.chirp.protocol import StatFs
+from repro.core.placement import PlacementPolicy, RoundRobinPlacement
+from repro.core.pool import ClientPool
+from repro.core.retry import RetryPolicy
+from repro.core.stubs import unique_data_name
+from repro.db.query import Query
+from repro.util.checksum import data_checksum, file_checksum, stream_checksum
+from repro.util.errors import (
+    ChirpError,
+    DisconnectedError,
+    DoesNotExistError,
+)
+
+__all__ = ["DSDB", "Replica", "RecordStore"]
+
+Replica = dict  # {"host", "port", "path", "state"}
+
+FILE_KIND = "file"
+
+
+class RecordStore(Protocol):
+    """What DSDB needs from its database.
+
+    Satisfied by both :class:`repro.db.engine.MetadataDB` (embedded) and
+    :class:`repro.db.client.DatabaseClient` (remote server) -- the same
+    recursive trick as everywhere else: local and remote are one interface.
+    """
+
+    def insert(self, record: dict) -> str: ...
+
+    def get(self, rid: str) -> Optional[dict]: ...
+
+    def update(self, rid: str, fields: dict) -> dict: ...
+
+    def delete(self, rid: str) -> bool: ...
+
+    def query(self, query: Query, limit: Optional[int] = None) -> list[dict]: ...
+
+    def count(self, query: Query) -> int: ...
+
+
+def live_replicas(record: dict) -> list[Replica]:
+    """Replicas believed intact (state ``ok``)."""
+    return [r for r in record.get("replicas", []) if r.get("state", "ok") == "ok"]
+
+
+class DSDB:
+    """A distributed shared database of files.
+
+    :param db: the record store (embedded or remote).
+    :param pool: shared client pool carrying the user's credentials.
+    :param servers: file servers available for data placement.
+    :param volume: name; data lands under ``/tssdata/<volume>`` on servers.
+    """
+
+    def __init__(
+        self,
+        db: RecordStore,
+        pool: ClientPool,
+        servers: Sequence[tuple[str, int]],
+        volume: str = "dsdb",
+        placement: Optional[PlacementPolicy] = None,
+        policy: Optional[RetryPolicy] = None,
+    ):
+        if not servers:
+            raise ValueError("a DSDB needs at least one file server")
+        self.db = db
+        self.pool = pool
+        self.servers = [(h, int(p)) for h, p in servers]
+        self.volume = volume
+        self.data_dir = f"/tssdata/{volume}"
+        self.placement = placement or RoundRobinPlacement()
+        self.policy = policy or RetryPolicy()
+        self._dirs_made: set[tuple[str, int]] = set()
+
+    # ------------------------------------------------------------------
+    # placement plumbing
+    # ------------------------------------------------------------------
+
+    def add_server(self, host: str, port: int) -> None:
+        """New equipment arrives: start placing data on it, no downtime."""
+        endpoint = (host, int(port))
+        if endpoint not in self.servers:
+            self.servers.append(endpoint)
+
+    def remove_server(self, host: str, port: int) -> None:
+        """Stop placing *new* data on a server (existing replicas remain
+        in records until an auditor notices their fate)."""
+        endpoint = (host, int(port))
+        self.servers = [s for s in self.servers if s != endpoint]
+
+    def _ensure_dir(self, endpoint: tuple[str, int]) -> None:
+        if endpoint in self._dirs_made:
+            return
+        from repro.util.errors import AlreadyExistsError
+
+        client = self.pool.get(*endpoint)
+        current = ""
+        for part in self.data_dir.strip("/").split("/"):
+            current += "/" + part
+            try:
+                client.mkdir(current)
+            except AlreadyExistsError:
+                continue
+        self._dirs_made.add(endpoint)
+
+    def _place_bytes(
+        self, data_or_file: Union[bytes, BinaryIO], exclude: frozenset
+    ) -> Replica:
+        """Store one copy on a fresh server; returns the replica descriptor."""
+        endpoint = tuple(self.placement.choose(self.servers, exclude))
+        self._ensure_dir(endpoint)
+        path = self.data_dir + "/" + unique_data_name()
+        client = self.pool.get(*endpoint)
+        if isinstance(data_or_file, (bytes, bytearray, memoryview)):
+            client.putfile(path, bytes(data_or_file))
+        else:
+            data_or_file.seek(0)
+            client.putfile(path, data_or_file)
+        return {"host": endpoint[0], "port": endpoint[1], "path": path, "state": "ok"}
+
+    # ------------------------------------------------------------------
+    # ingest / query / fetch / delete
+    # ------------------------------------------------------------------
+
+    def ingest(
+        self,
+        name: str,
+        data: Union[bytes, BinaryIO, str],
+        metadata: Optional[dict] = None,
+        replicas: int = 1,
+    ) -> dict:
+        """Store a file and index it.
+
+        ``data`` may be bytes, a binary file object, or a local path.
+        The record is inserted as soon as *one* copy is safely stored
+        (GEMS: "once a single copy of the data is accepted, the
+        replicator process then works to replicate"); additional copies
+        requested here are added before returning, on distinct servers
+        when possible.
+        """
+        if replicas < 1:
+            raise ValueError("replicas must be >= 1")
+        spool: Optional[BinaryIO] = None
+        try:
+            if isinstance(data, str):
+                spool = open(data, "rb")
+                checksum = stream_checksum(spool)
+                size = spool.seek(0, io.SEEK_END)
+                source: Union[bytes, BinaryIO] = spool
+            elif isinstance(data, (bytes, bytearray, memoryview)):
+                source = bytes(data)
+                checksum = data_checksum(source)
+                size = len(source)
+            else:
+                spool = data
+                spool.seek(0)
+                checksum = stream_checksum(spool)
+                size = spool.seek(0, io.SEEK_END)
+                source = spool
+
+            first = self._place_bytes(source, frozenset())
+            record = {
+                "tss_kind": FILE_KIND,
+                "name": name,
+                "size": size,
+                "checksum": checksum,
+                "replicas": [first],
+            }
+            for key, value in (metadata or {}).items():
+                record.setdefault(key, value)
+            rid = self.db.insert(record)
+            record["id"] = rid
+            exclude = {(first["host"], first["port"])}
+            for _ in range(replicas - 1):
+                try:
+                    rep = self._place_bytes(source, frozenset(exclude))
+                except LookupError:
+                    break  # fewer servers than requested copies
+                record["replicas"].append(rep)
+                exclude.add((rep["host"], rep["port"]))
+            if len(record["replicas"]) > 1:
+                record = self.db.update(rid, {"replicas": record["replicas"]})
+                record["id"] = rid
+            return record
+        finally:
+            if spool is not None and isinstance(data, str):
+                spool.close()
+
+    def query(self, query: Query, limit: Optional[int] = None) -> list[dict]:
+        return self.db.query(query, limit)
+
+    def find(self, **equalities) -> list[dict]:
+        """Shorthand equality query, always scoped to file records."""
+        q = Query.where(tss_kind=FILE_KIND, **equalities)
+        return self.db.query(q)
+
+    def get(self, rid: str) -> Optional[dict]:
+        return self.db.get(rid)
+
+    def fetch(
+        self,
+        record_or_id: Union[dict, str],
+        sink: Optional[BinaryIO] = None,
+        verify: bool = False,
+    ) -> Union[bytes, int]:
+        """Read a file directly from its replicas, failing over in order.
+
+        This is the DSDB's failure coherence: any live replica serves the
+        read; only when every replica is gone does the fetch fail.
+        """
+        record = self._resolve(record_or_id)
+        last: Optional[Exception] = None
+        for rep in live_replicas(record) or record.get("replicas", []):
+            client = self.pool.try_get(rep["host"], rep["port"])
+            if client is None:
+                last = DisconnectedError(f"{rep['host']}:{rep['port']} down")
+                continue
+            try:
+                if verify and client.checksum(rep["path"]) != record["checksum"]:
+                    last = DoesNotExistError(f"{rep['path']}: checksum mismatch")
+                    continue
+                return client.getfile(rep["path"], sink)
+            except ChirpError as exc:
+                last = exc
+                continue
+        raise DoesNotExistError(
+            f"{record.get('name', record.get('id'))}: no replica available"
+        ) from last
+
+    def delete(self, record_or_id: Union[dict, str], force: bool = False) -> None:
+        """Remove data replicas, then the record (data-first ordering)."""
+        record = self._resolve(record_or_id)
+        for rep in record.get("replicas", []):
+            try:
+                client = self.pool.get(rep["host"], rep["port"])
+                client.unlink(rep["path"])
+            except DoesNotExistError:
+                continue
+            except ChirpError:
+                if not force:
+                    raise
+        self.db.delete(record["id"])
+
+    def _resolve(self, record_or_id: Union[dict, str]) -> dict:
+        if isinstance(record_or_id, dict):
+            return record_or_id
+        record = self.db.get(record_or_id)
+        if record is None:
+            raise DoesNotExistError(f"no record {record_or_id}")
+        return record
+
+    # ------------------------------------------------------------------
+    # replica maintenance (mechanism used by the GEMS policies)
+    # ------------------------------------------------------------------
+
+    def verify_replica(self, record: dict, replica: Replica) -> str:
+        """Check one replica: returns ``ok``, ``damaged`` or ``missing``."""
+        client = self.pool.try_get(replica["host"], replica["port"])
+        if client is None:
+            return "missing"
+        try:
+            digest = client.checksum(replica["path"])
+        except DoesNotExistError:
+            return "missing"
+        except ChirpError:
+            return "missing"
+        return "ok" if digest == record["checksum"] else "damaged"
+
+    def add_replica(self, record_or_id: Union[dict, str]) -> Optional[dict]:
+        """Copy a live replica onto a server that lacks one.
+
+        Streams through a local spool file, so arbitrarily large files
+        replicate in constant memory.  Returns the updated record, or
+        None when no live source or no eligible target exists.
+        """
+        record = self._resolve(record_or_id)
+        sources = live_replicas(record)
+        if not sources:
+            return None
+        occupied = frozenset(
+            (r["host"], r["port"]) for r in record.get("replicas", [])
+        )
+        try:
+            with tempfile.TemporaryFile() as spool:
+                self.fetch(record, sink=spool)
+                spool.seek(0)
+                new_rep = self._place_bytes(spool, occupied)
+        except (LookupError, ChirpError):
+            return None
+        replicas = record.get("replicas", []) + [new_rep]
+        updated = self.db.update(record["id"], {"replicas": replicas})
+        return updated
+
+    def drop_replica(self, record_or_id: Union[dict, str], replica: Replica) -> dict:
+        """Remove one replica's data and forget it in the record."""
+        record = self._resolve(record_or_id)
+        try:
+            client = self.pool.get(replica["host"], replica["port"])
+            client.unlink(replica["path"])
+        except ChirpError:
+            pass  # best effort; the record is authoritative
+        replicas = [
+            r
+            for r in record.get("replicas", [])
+            if (r["host"], r["port"], r["path"])
+            != (replica["host"], replica["port"], replica["path"])
+        ]
+        return self.db.update(record["id"], {"replicas": replicas})
+
+    def mark_replica(
+        self, record_or_id: Union[dict, str], replica: Replica, state: str
+    ) -> dict:
+        """Record an auditor verdict about one replica."""
+        record = self._resolve(record_or_id)
+        replicas = []
+        for r in record.get("replicas", []):
+            if (r["host"], r["port"], r["path"]) == (
+                replica["host"],
+                replica["port"],
+                replica["path"],
+            ):
+                r = dict(r)
+                r["state"] = state
+            replicas.append(r)
+        return self.db.update(record["id"], {"replicas": replicas})
+
+    # ------------------------------------------------------------------
+    # capacity
+    # ------------------------------------------------------------------
+
+    def statfs(self) -> StatFs:
+        total = free = 0
+        for host, port in self.servers:
+            client = self.pool.try_get(host, port)
+            if client is None:
+                continue
+            try:
+                fs = client.statfs()
+            except ChirpError:
+                continue
+            total += fs.total_bytes
+            free += fs.free_bytes
+        return StatFs(total, free)
+
+    def stored_bytes(self) -> int:
+        """Total bytes across all replicas of all records (GEMS budget)."""
+        total = 0
+        for record in self.db.query(Query.where(tss_kind=FILE_KIND)):
+            total += record.get("size", 0) * len(record.get("replicas", []))
+        return total

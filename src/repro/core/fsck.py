@@ -1,0 +1,144 @@
+"""fsck for stub filesystems: audit and repair DPFS/DSFS volumes.
+
+Failure coherence leaves two benign kinds of litter behind (paper,
+section 5): *dangling stubs* (a crash between creation steps 2 and 3, or
+data evicted by a server's owner) and *orphan data files* (a crash
+between data deletion and stub deletion never happens by construction --
+data goes first -- but data servers rejoining after a partition, or
+interrupted ``heal``/replication, can strand data no stub points to).
+
+``fsck_volume`` walks the directory tree and every data server's volume
+directory, classifies both kinds, and (optionally) removes them.  It
+needs nothing beyond the Unix interface -- one more dividend of recursive
+abstraction.
+"""
+
+from __future__ import annotations
+
+import logging
+import posixpath
+from dataclasses import dataclass, field
+
+from repro.core.stubfs import StubFilesystem
+from repro.util.errors import ChirpError, DisconnectedError, DoesNotExistError
+
+__all__ = ["FsckReport", "fsck_volume"]
+
+log = logging.getLogger("repro.core.fsck")
+
+
+@dataclass
+class FsckReport:
+    """What an fsck pass found (and possibly fixed)."""
+
+    files_checked: int = 0
+    directories_checked: int = 0
+    healthy: int = 0
+    #: stub path -> reason ("no data file" / "server unreachable")
+    dangling_stubs: dict = field(default_factory=dict)
+    #: (host, port, data path) of data files no stub references
+    orphan_data: list = field(default_factory=list)
+    unreachable_servers: list = field(default_factory=list)
+    removed_stubs: int = 0
+    removed_orphans: int = 0
+
+    @property
+    def clean(self) -> bool:
+        return not self.dangling_stubs and not self.orphan_data
+
+
+def _walk_stubs(fs: StubFilesystem, report: FsckReport):
+    """Yield (path, stub) for every file entry; count directories."""
+    pending = ["/"]
+    while pending:
+        directory = pending.pop()
+        report.directories_checked += 1
+        for name in fs.listdir(directory):
+            path = posixpath.join(directory, name)
+            try:
+                if fs.meta.stat(path).is_dir:
+                    pending.append(path)
+                    continue
+            except ChirpError:
+                continue
+            report.files_checked += 1
+            try:
+                yield path, fs.stub_for(path)
+            except ChirpError:
+                report.dangling_stubs[path] = "unreadable stub"
+
+
+def fsck_volume(
+    fs: StubFilesystem,
+    *,
+    remove_dangling: bool = False,
+    remove_orphans: bool = False,
+) -> FsckReport:
+    """Audit (and optionally repair) one DPFS/DSFS volume.
+
+    Repair is conservative: dangling stubs whose data server is merely
+    *unreachable* are reported but never removed -- the server may come
+    back.  Only stubs whose server answered "no such file" are eligible
+    for removal, and only orphan files in this volume's own data
+    directory are eligible for deletion.
+    """
+    report = FsckReport()
+    referenced: dict[tuple[str, int], set[str]] = {
+        tuple(endpoint): set() for endpoint in fs.servers
+    }
+
+    # Pass 1: every stub must point at live data.
+    for path, stub in _walk_stubs(fs, report):
+        endpoint = stub.endpoint
+        referenced.setdefault(endpoint, set()).add(stub.path)
+        client = fs.pool.try_get(*endpoint)
+        if client is None:
+            report.dangling_stubs[path] = "server unreachable"
+            continue
+        try:
+            client.stat(stub.path)
+            report.healthy += 1
+        except DoesNotExistError:
+            report.dangling_stubs[path] = "no data file"
+            if remove_dangling:
+                try:
+                    fs.meta.unlink(path)
+                    report.removed_stubs += 1
+                except ChirpError:
+                    pass
+        except DisconnectedError:
+            report.dangling_stubs[path] = "server unreachable"
+        except ChirpError as exc:
+            report.dangling_stubs[path] = f"error: {exc}"
+
+    # Pass 2: every data file must be referenced by some stub.
+    for endpoint in fs.servers:
+        endpoint = tuple(endpoint)
+        client = fs.pool.try_get(*endpoint)
+        if client is None:
+            report.unreachable_servers.append(endpoint)
+            continue
+        try:
+            names = client.getdir(fs.data_dir)
+        except ChirpError:
+            continue
+        known = referenced.get(endpoint, set())
+        for name in names:
+            data_path = fs.data_dir + "/" + name
+            if data_path in known:
+                continue
+            report.orphan_data.append((endpoint[0], endpoint[1], data_path))
+            if remove_orphans:
+                try:
+                    client.unlink(data_path)
+                    report.removed_orphans += 1
+                except ChirpError:
+                    pass
+
+    if not report.clean:
+        log.info(
+            "fsck: %d dangling stubs, %d orphan data files",
+            len(report.dangling_stubs),
+            len(report.orphan_data),
+        )
+    return report

@@ -1,0 +1,103 @@
+"""Placement policies: choosing a file server for new data.
+
+The paper leaves placement open ("a remote server must be chosen"); these
+policies cover the obvious choices and define the seam where smarter ones
+(locality-aware, catalog-driven) plug in.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+from abc import ABC, abstractmethod
+from typing import Optional, Sequence
+
+from repro.core.pool import ClientPool
+
+__all__ = [
+    "PlacementPolicy",
+    "RoundRobinPlacement",
+    "RandomPlacement",
+    "MostFreePlacement",
+]
+
+Endpoint = tuple  # (host, port)
+
+
+class PlacementPolicy(ABC):
+    """Chooses which data server receives a newly created file."""
+
+    @abstractmethod
+    def choose(
+        self, servers: Sequence[Endpoint], exclude: frozenset = frozenset()
+    ) -> Endpoint:
+        """Pick a server, never one in ``exclude`` (e.g. known-dead ones).
+
+        Raises :class:`LookupError` when every server is excluded.
+        """
+
+    @staticmethod
+    def _eligible(servers: Sequence[Endpoint], exclude: frozenset) -> list:
+        out = [s for s in servers if tuple(s) not in exclude]
+        if not out:
+            raise LookupError("no eligible file server for placement")
+        return out
+
+
+class RoundRobinPlacement(PlacementPolicy):
+    """Cycle through servers; starts at a random offset to spread load."""
+
+    def __init__(self, seed: Optional[int] = None):
+        self._counter = random.Random(seed).randrange(1 << 16)
+        self._lock = threading.Lock()
+
+    def choose(self, servers, exclude=frozenset()):
+        eligible = self._eligible(servers, exclude)
+        with self._lock:
+            pick = eligible[self._counter % len(eligible)]
+            self._counter += 1
+        return pick
+
+
+class RandomPlacement(PlacementPolicy):
+    """Uniform random choice; deterministic under a seed for tests."""
+
+    def __init__(self, seed: Optional[int] = None):
+        self._rng = random.Random(seed)
+        self._lock = threading.Lock()
+
+    def choose(self, servers, exclude=frozenset()):
+        eligible = self._eligible(servers, exclude)
+        with self._lock:
+            return self._rng.choice(eligible)
+
+
+class MostFreePlacement(PlacementPolicy):
+    """Ask each server for its free space and pick the roomiest.
+
+    Costs one ``statfs`` RPC per eligible server per placement; suited to
+    large-file workloads (GEMS), not metadata-heavy ones.  Unreachable
+    servers are skipped -- placement, like everything else, must tolerate
+    partial failure.
+    """
+
+    def __init__(self, pool: ClientPool):
+        self.pool = pool
+
+    def choose(self, servers, exclude=frozenset()):
+        eligible = self._eligible(servers, exclude)
+        best = None
+        best_free = -1
+        for host, port in eligible:
+            client = self.pool.try_get(host, port)
+            if client is None:
+                continue
+            try:
+                free = client.statfs().free_bytes
+            except Exception:
+                continue
+            if free > best_free:
+                best, best_free = (host, port), free
+        if best is None:
+            raise LookupError("no reachable file server for placement")
+        return best

@@ -1,0 +1,83 @@
+"""Shared Chirp connections for multi-server abstractions.
+
+A DPFS/DSFS/DSDB touches many file servers; opening one TCP connection
+per server and sharing it across all handles keeps the congestion window
+warm (the single-connection design the paper contrasts with FTP) and
+bounds socket usage.  The pool also carries the user's credentials so an
+abstraction can be built from a list of ``(host, port)`` pairs alone --
+e.g. straight out of a catalog query.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Optional
+
+from repro.auth.methods import ClientCredentials
+from repro.chirp.client import ChirpClient
+
+__all__ = ["ClientPool"]
+
+
+class ClientPool:
+    """A thread-safe cache of :class:`ChirpClient` keyed by endpoint."""
+
+    def __init__(
+        self,
+        credentials: Optional[ClientCredentials] = None,
+        timeout: float = 30.0,
+    ):
+        self.credentials = credentials or ClientCredentials()
+        self.timeout = timeout
+        self._clients: dict[tuple[str, int], ChirpClient] = {}
+        self._lock = threading.Lock()
+
+    def get(self, host: str, port: int) -> ChirpClient:
+        """Connect (or reuse the cached connection) to a server.
+
+        A cached-but-dead client is returned as-is: handle-level recovery
+        owns reconnection so that generation numbers advance exactly once
+        per reconnect, no matter how many handles notice the failure.
+        """
+        key = (host, int(port))
+        with self._lock:
+            client = self._clients.get(key)
+            if client is None:
+                client = ChirpClient(
+                    host, int(port), credentials=self.credentials, timeout=self.timeout
+                )
+                self._clients[key] = client
+            return client
+
+    def try_get(self, host: str, port: int) -> Optional[ChirpClient]:
+        """Like :meth:`get` but returns None when the server is down."""
+        from repro.util.errors import ChirpError
+
+        try:
+            return self.get(host, port)
+        except ChirpError:
+            return None
+
+    def invalidate(self, host: str, port: int) -> None:
+        """Forget a cached connection (e.g. after a permanent failure)."""
+        with self._lock:
+            client = self._clients.pop((host, int(port)), None)
+        if client is not None:
+            client.close()
+
+    def close(self) -> None:
+        with self._lock:
+            clients = list(self._clients.values())
+            self._clients.clear()
+        for client in clients:
+            client.close()
+
+    def __enter__(self) -> "ClientPool":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._clients)

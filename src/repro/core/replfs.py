@@ -1,0 +1,493 @@
+"""ReplicatedFS: a transparently replicating filesystem.
+
+The paper's conclusion leaves this open: "One may imagine filesystems
+that transparently stripe, replicate, and version data."  This module is
+that extension for replication, built with exactly the pieces the TSS
+already provides -- a metadata store, exclusive create, and file servers
+-- demonstrating the architecture's claim that new abstractions need no
+new server machinery.
+
+Semantics:
+
+- every file's stub lists ``copies`` locations on distinct servers;
+- writes go to **all** live replicas (no write-behind -- direct access);
+- reads are served by the first reachable replica, failing over in order;
+- a replica whose server dies mid-handle is dropped from the handle (the
+  file degrades but stays available as long as one replica lives);
+  ``degraded`` on the handle reports this so callers can re-replicate;
+- ``heal`` re-copies a file back up to its target replica count.
+
+Divergence (a write that succeeded on some replicas when the client
+crashed) is detected by ``verify``, which compares replica checksums;
+policy-driven repair belongs to a GEMS-style auditor, not the filesystem.
+"""
+
+from __future__ import annotations
+
+import json
+import posixpath
+from dataclasses import dataclass, replace
+from typing import Optional, Sequence
+
+from repro.chirp.protocol import ChirpStat, OpenFlags, StatFs
+from repro.core.cfs import ChirpFileHandle
+from repro.core.interface import FileHandle, Filesystem
+from repro.core.metastore import MetadataStore, VOLUME_FILE
+from repro.core.placement import PlacementPolicy, RoundRobinPlacement
+from repro.core.pool import ClientPool
+from repro.core.retry import RetryPolicy
+from repro.core.stubs import unique_data_name
+from repro.util.errors import (
+    AlreadyExistsError,
+    ChirpError,
+    DisconnectedError,
+    DoesNotExistError,
+    InvalidRequestError,
+    IsADirectoryError_,
+    NotAuthorizedError,
+)
+from repro.util.paths import normalize_virtual
+
+__all__ = ["ReplicatedFS", "MultiStub", "ReplicatedHandle"]
+
+_CREATE_ATTEMPTS = 4
+
+
+@dataclass(frozen=True)
+class MultiStub:
+    """A pointer to N replicas of one file's data."""
+
+    locations: tuple[tuple[str, int, str], ...]  # (host, port, data path)
+
+    def encode(self) -> bytes:
+        doc = {
+            "tss": "rstub",
+            "v": 1,
+            "locations": [[h, p, path] for h, p, path in self.locations],
+        }
+        return (json.dumps(doc, sort_keys=True) + "\n").encode("utf-8")
+
+    @classmethod
+    def decode(cls, raw: bytes) -> "MultiStub":
+        try:
+            doc = json.loads(raw.decode("utf-8"))
+        except (ValueError, UnicodeDecodeError) as exc:
+            raise InvalidRequestError(f"not a replicated stub: {exc}") from exc
+        if not isinstance(doc, dict) or doc.get("tss") != "rstub":
+            raise InvalidRequestError("not a replicated stub")
+        try:
+            locations = tuple(
+                (str(h), int(p), str(path)) for h, p, path in doc["locations"]
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise InvalidRequestError(f"malformed replicated stub: {exc}") from exc
+        if not locations:
+            raise InvalidRequestError("replicated stub lists no locations")
+        return cls(locations)
+
+
+class ReplicatedHandle(FileHandle):
+    """An open replicated file: reads fail over, writes fan out."""
+
+    def __init__(self, handles: list[ChirpFileHandle]):
+        if not handles:
+            raise DoesNotExistError("no replica could be opened")
+        self._handles = handles
+        self.dropped = 0
+
+    @property
+    def degraded(self) -> bool:
+        return self.dropped > 0
+
+    @property
+    def width(self) -> int:
+        return len(self._handles)
+
+    def _survivors_after(self, dead: ChirpFileHandle) -> None:
+        self._handles.remove(dead)
+        self.dropped += 1
+        try:
+            dead.close()
+        except ChirpError:
+            pass
+        if not self._handles:
+            raise DisconnectedError("every replica of this file is unreachable")
+
+    def pread(self, length: int, offset: int) -> bytes:
+        while True:
+            handle = self._handles[0]
+            try:
+                return handle.pread(length, offset)
+            except DisconnectedError:
+                self._survivors_after(handle)
+
+    def pwrite(self, data: bytes, offset: int) -> int:
+        # Fan out; drop replicas that died, succeed if at least one took it.
+        written: Optional[int] = None
+        for handle in list(self._handles):
+            try:
+                written = handle.pwrite(data, offset)
+            except DisconnectedError:
+                self._survivors_after(handle)
+        if written is None:  # pragma: no cover - _survivors_after raises first
+            raise DisconnectedError("write reached no replica")
+        return written
+
+    def fsync(self) -> None:
+        for handle in list(self._handles):
+            try:
+                handle.fsync()
+            except DisconnectedError:
+                self._survivors_after(handle)
+
+    def ftruncate(self, size: int) -> None:
+        for handle in list(self._handles):
+            try:
+                handle.ftruncate(size)
+            except DisconnectedError:
+                self._survivors_after(handle)
+
+    def fstat(self) -> ChirpStat:
+        while True:
+            handle = self._handles[0]
+            try:
+                return handle.fstat()
+            except DisconnectedError:
+                self._survivors_after(handle)
+
+    def close(self) -> None:
+        for handle in self._handles:
+            try:
+                handle.close()
+            except ChirpError:
+                pass
+
+
+class ReplicatedFS(Filesystem):
+    """A DSFS-shaped filesystem that keeps N copies of every file."""
+
+    def __init__(
+        self,
+        meta: MetadataStore,
+        pool: ClientPool,
+        servers: Sequence[tuple[str, int]],
+        data_dir: str,
+        copies: int = 2,
+        placement: Optional[PlacementPolicy] = None,
+        policy: Optional[RetryPolicy] = None,
+    ):
+        if copies < 1:
+            raise ValueError("copies must be >= 1")
+        if len(servers) < copies:
+            raise ValueError("need at least as many servers as copies")
+        self.meta = meta
+        self.pool = pool
+        self.servers = [(h, int(p)) for h, p in servers]
+        self.data_dir = normalize_virtual(data_dir)
+        self.copies = copies
+        self.placement = placement or RoundRobinPlacement()
+        self.policy = policy or RetryPolicy()
+
+    # ------------------------------------------------------------------
+    # plumbing
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _guard_name(path: str) -> str:
+        norm = normalize_virtual(path)
+        if posixpath.basename(norm) == VOLUME_FILE:
+            raise NotAuthorizedError("the volume file is managed by the filesystem")
+        return norm
+
+    def _read_stub(self, path: str) -> MultiStub:
+        raw = self.meta.read(path)
+        if not raw:
+            raise DoesNotExistError(f"{path}: stub mid-creation")
+        return MultiStub.decode(raw)
+
+    def _open_location(
+        self, location: tuple[str, int, str], flags: OpenFlags, mode: int
+    ) -> ChirpFileHandle:
+        host, port, data_path = location
+        client = self.pool.get(host, port)
+        return ChirpFileHandle(client, data_path, flags, mode, self.policy)
+
+    def _is_dir(self, path: str) -> bool:
+        try:
+            return self.meta.stat(path).is_dir
+        except ChirpError:
+            return False
+
+    # ------------------------------------------------------------------
+    # open / create
+    # ------------------------------------------------------------------
+
+    def open(self, path: str, flags: OpenFlags, mode: int = 0o644) -> FileHandle:
+        path = self._guard_name(path)
+        if flags.create:
+            return self._create_or_open(path, flags, mode)
+        return self._open_existing(path, flags, mode)
+
+    def _open_existing(self, path: str, flags: OpenFlags, mode: int) -> ReplicatedHandle:
+        if self._is_dir(path):
+            raise IsADirectoryError_(path)
+        stub = self._read_stub(path)
+        dflags = replace(flags, create=False, exclusive=False)
+        handles = []
+        missing = 0
+        for location in stub.locations:
+            try:
+                handles.append(self._open_location(location, dflags, mode))
+            except DoesNotExistError:
+                missing += 1
+            except DisconnectedError:
+                continue
+        if not handles:
+            if missing == len(stub.locations):
+                raise DoesNotExistError(f"{path}: dangling stub (no data anywhere)")
+            raise DisconnectedError(f"{path}: no replica reachable")
+        handle = ReplicatedHandle(handles)
+        handle.dropped = len(stub.locations) - len(handles)
+        return handle
+
+    def _create_or_open(self, path: str, flags: OpenFlags, mode: int) -> FileHandle:
+        for _ in range(_CREATE_ATTEMPTS):
+            # choose `copies` distinct servers
+            chosen: list[tuple[str, int]] = []
+            exclude: set[tuple[str, int]] = set()
+            try:
+                while len(chosen) < self.copies:
+                    endpoint = tuple(self.placement.choose(self.servers, frozenset(exclude)))
+                    chosen.append(endpoint)
+                    exclude.add(endpoint)
+            except LookupError:
+                if not chosen:
+                    raise DisconnectedError(f"{path}: no server for placement") from None
+            locations = tuple(
+                (h, p, self.data_dir + "/" + unique_data_name()) for h, p in chosen
+            )
+            stub = MultiStub(locations)
+            if not self.meta.create_exclusive(path, stub.encode()):
+                if flags.exclusive:
+                    raise AlreadyExistsError(path)
+                return self._open_existing(path, flags, mode)
+            dflags = replace(flags, create=True, exclusive=True, write=True)
+            handles = []
+            try:
+                for location in locations:
+                    handles.append(self._open_location(location, dflags, mode))
+            except (AlreadyExistsError, DisconnectedError):
+                for h in handles:
+                    try:
+                        h.close()
+                    except ChirpError:
+                        pass
+                self.meta.unlink(path)
+                continue
+            except Exception:
+                for h in handles:
+                    try:
+                        h.close()
+                    except ChirpError:
+                        pass
+                self.meta.unlink(path)
+                raise
+            return ReplicatedHandle(handles)
+        raise DisconnectedError(f"{path}: could not create replicated file")
+
+    # ------------------------------------------------------------------
+    # namespace
+    # ------------------------------------------------------------------
+
+    def stat(self, path: str) -> ChirpStat:
+        path = self._guard_name(path)
+        mst = self.meta.stat(path)
+        if mst.is_dir:
+            return mst
+        stub = self._read_stub(path)
+        last: Exception | None = None
+        for host, port, data_path in stub.locations:
+            client = self.pool.try_get(host, port)
+            if client is None:
+                last = DisconnectedError(f"{host}:{port} down")
+                continue
+            try:
+                dst = client.stat(data_path)
+            except ChirpError as exc:
+                last = exc
+                continue
+            return ChirpStat(
+                device=mst.device,
+                inode=mst.inode,
+                mode=dst.mode,
+                nlink=mst.nlink,
+                uid=dst.uid,
+                gid=dst.gid,
+                size=dst.size,
+                atime=dst.atime,
+                mtime=dst.mtime,
+                ctime=dst.ctime,
+            )
+        raise DoesNotExistError(f"{path}: no replica reachable") from last
+
+    def lstat(self, path: str) -> ChirpStat:
+        return self.meta.stat(self._guard_name(path))
+
+    def listdir(self, path: str) -> list[str]:
+        names = self.meta.listdir(path)
+        if normalize_virtual(path) == "/":
+            names = [n for n in names if n != VOLUME_FILE]
+        return names
+
+    def unlink(self, path: str, force: bool = False) -> None:
+        path = self._guard_name(path)
+        if self._is_dir(path):
+            raise IsADirectoryError_(path)
+        stub = self._read_stub(path)
+        for host, port, data_path in stub.locations:
+            try:
+                client = self.pool.get(host, port)
+                client.unlink(data_path)
+            except DoesNotExistError:
+                continue
+            except ChirpError:
+                if not force:
+                    raise
+        self.meta.unlink(path)
+
+    def rename(self, old: str, new: str) -> None:
+        self.meta.rename(self._guard_name(old), self._guard_name(new))
+
+    def mkdir(self, path: str, mode: int = 0o755) -> None:
+        self.meta.mkdir(self._guard_name(path), mode)
+
+    def rmdir(self, path: str) -> None:
+        self.meta.rmdir(self._guard_name(path))
+
+    def truncate(self, path: str, size: int) -> None:
+        path = self._guard_name(path)
+        for host, port, data_path in self._read_stub(path).locations:
+            client = self.pool.try_get(host, port)
+            if client is None:
+                continue
+            try:
+                client.truncate(data_path, size)
+            except ChirpError:
+                continue
+
+    def statfs(self) -> StatFs:
+        total = free = 0
+        reachable = 0
+        for host, port in self.servers:
+            client = self.pool.try_get(host, port)
+            if client is None:
+                continue
+            try:
+                fs = client.statfs()
+            except ChirpError:
+                continue
+            total += fs.total_bytes
+            free += fs.free_bytes
+            reachable += 1
+        if reachable == 0:
+            raise DisconnectedError("no data server reachable for statfs")
+        # Usable capacity is divided by the replication factor.
+        return StatFs(total // self.copies, free // self.copies)
+
+    # ------------------------------------------------------------------
+    # replication maintenance
+    # ------------------------------------------------------------------
+
+    def verify(self, path: str) -> dict[tuple[str, int, str], str]:
+        """Checksum every replica; returns location -> ok/missing/diverged.
+
+        "ok" means *agrees with the majority checksum*.  With only two
+        live replicas a divergence is a tie, and no filesystem-level
+        information says which copy is the truth; the tie is broken
+        deterministically in favor of the replica listed first in the
+        stub (creation order).  Deployments that need real corruption
+        arbitration should run ``copies >= 3`` so a majority exists.
+        """
+        path = self._guard_name(path)
+        stub = self._read_stub(path)
+        digests: dict[tuple[str, int, str], Optional[str]] = {}
+        for location in stub.locations:
+            host, port, data_path = location
+            client = self.pool.try_get(host, port)
+            if client is None:
+                digests[location] = None
+                continue
+            try:
+                digests[location] = client.checksum(data_path)
+            except ChirpError:
+                digests[location] = None
+        seen = [d for d in digests.values() if d is not None]
+        # majority by count; ties go to the earliest location's digest
+        majority = None
+        if seen:
+            best_count = max(seen.count(d) for d in seen)
+            for location in stub.locations:
+                digest = digests.get(location)
+                if digest is not None and seen.count(digest) == best_count:
+                    majority = digest
+                    break
+        out = {}
+        for location, digest in digests.items():
+            if digest is None:
+                out[location] = "missing"
+            elif digest == majority:
+                out[location] = "ok"
+            else:
+                out[location] = "diverged"
+        return out
+
+    def heal(self, path: str) -> int:
+        """Restore a file to its target replica count; returns copies added.
+
+        Missing/diverged replicas are replaced by copies of a majority-
+        checksum replica, landing on servers not already holding one.
+        """
+        path = self._guard_name(path)
+        stub = self._read_stub(path)
+        health = self.verify(path)
+        good = [loc for loc in stub.locations if health[loc] == "ok"]
+        if not good:
+            raise DoesNotExistError(f"{path}: no intact replica to heal from")
+        if len(good) >= self.copies:
+            return 0
+        source_host, source_port, source_path = good[0]
+        source = self.pool.get(source_host, source_port)
+        data = source.getfile(source_path)
+        occupied = {(h, p) for h, p, _ in good}
+        new_locations = list(good)
+        added = 0
+        while len(new_locations) < self.copies:
+            try:
+                endpoint = tuple(
+                    self.placement.choose(self.servers, frozenset(occupied))
+                )
+            except LookupError:
+                break
+            occupied.add(endpoint)
+            data_path = self.data_dir + "/" + unique_data_name()
+            try:
+                client = self.pool.get(*endpoint)
+                client.putfile(data_path, data)
+            except ChirpError:
+                continue
+            new_locations.append((endpoint[0], endpoint[1], data_path))
+            added += 1
+        # swing the stub to the healed location set, then retire bad data
+        self.meta.unlink(path)
+        if not self.meta.create_exclusive(path, MultiStub(tuple(new_locations)).encode()):
+            raise AlreadyExistsError(f"{path}: concurrent recreation during heal")
+        for location in stub.locations:
+            if location not in new_locations and health[location] == "diverged":
+                host, port, data_path = location
+                client = self.pool.try_get(host, port)
+                if client is not None:
+                    try:
+                        client.unlink(data_path)
+                    except ChirpError:
+                        pass
+        return added

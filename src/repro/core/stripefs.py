@@ -1,0 +1,460 @@
+"""StripedFS: a transparently striping filesystem.
+
+The second half of the paper's future-work sentence ("filesystems that
+transparently stripe, replicate, and version data").  A file's bytes are
+interleaved round-robin in fixed-size stripes across N data servers, so
+a single client can exceed one server's disk or NIC -- the aggregate-
+bandwidth effect Figures 6-8 get from whole-file placement, delivered
+*within* one file.
+
+Layout: logical chunk ``k`` (bytes ``[k*S, (k+1)*S)``) lives in stripe
+file ``k % N`` at inner offset ``(k // N) * S``.  Every logical byte maps
+to exactly one stripe byte, so the logical size is simply the sum of the
+stripe file sizes; pure functions below implement the mapping and are
+property-tested against a byte-level reference.
+
+Availability trade-off (documented, deliberate): striping *divides*
+failure coherence -- losing any one stripe server makes the whole file
+unavailable.  Stripe for bandwidth, replicate for durability; the two
+compose by mounting a :class:`~repro.core.replfs.ReplicatedFS` under the
+stripes' metadata if both are needed.
+
+Sparse-file caveat: a hole that ends inside an *unwritten stripe tail*
+reads as end-of-file rather than zeros (the stripe file is simply short),
+so reads stop at the first such hole.  Dense (gapless) files behave
+exactly like flat files; sparse logical files would need the logical size
+recorded in metadata, which this minimal extension deliberately omits.
+"""
+
+from __future__ import annotations
+
+import json
+import posixpath
+from dataclasses import dataclass, replace
+from typing import Optional, Sequence
+
+from repro.chirp.protocol import ChirpStat, OpenFlags, StatFs
+from repro.core.cfs import ChirpFileHandle
+from repro.core.interface import FileHandle, Filesystem
+from repro.core.metastore import MetadataStore, VOLUME_FILE
+from repro.core.pool import ClientPool
+from repro.core.retry import RetryPolicy
+from repro.core.stubs import unique_data_name
+from repro.util.errors import (
+    AlreadyExistsError,
+    ChirpError,
+    DisconnectedError,
+    DoesNotExistError,
+    InvalidRequestError,
+    IsADirectoryError_,
+    NotAuthorizedError,
+)
+from repro.util.paths import normalize_virtual
+
+__all__ = [
+    "StripedFS",
+    "StripeStub",
+    "StripedHandle",
+    "map_extent",
+    "stripe_sizes_for_length",
+]
+
+DEFAULT_STRIPE_SIZE = 64 * 1024
+
+
+# ---------------------------------------------------------------------------
+# pure layout math
+# ---------------------------------------------------------------------------
+
+
+def map_extent(offset: int, length: int, n_stripes: int, stripe_size: int):
+    """Split a logical byte extent into per-stripe pieces.
+
+    Yields ``(stripe_index, inner_offset, piece_length, logical_offset)``
+    in logical order.  Pure function -- the heart of the striping layout.
+    """
+    if offset < 0 or length < 0:
+        raise ValueError("negative offset or length")
+    position = offset
+    end = offset + length
+    while position < end:
+        chunk = position // stripe_size
+        within = position - chunk * stripe_size
+        piece = min(stripe_size - within, end - position)
+        stripe = chunk % n_stripes
+        inner = (chunk // n_stripes) * stripe_size + within
+        yield (stripe, inner, piece, position)
+        position += piece
+
+
+def stripe_sizes_for_length(length: int, n_stripes: int, stripe_size: int) -> list[int]:
+    """Size of each stripe file for a logical file of ``length`` bytes."""
+    if length < 0:
+        raise ValueError("negative length")
+    sizes = [0] * n_stripes
+    full_chunks, remainder = divmod(length, stripe_size)
+    rounds, extra = divmod(full_chunks, n_stripes)
+    for i in range(n_stripes):
+        sizes[i] = rounds * stripe_size
+        if i < extra:
+            sizes[i] += stripe_size
+    if remainder:
+        sizes[extra % n_stripes] += remainder
+    return sizes
+
+
+# ---------------------------------------------------------------------------
+# on-disk pointer
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class StripeStub:
+    """Pointer to a striped file's pieces."""
+
+    stripe_size: int
+    locations: tuple[tuple[str, int, str], ...]  # one per stripe, in order
+
+    def encode(self) -> bytes:
+        doc = {
+            "tss": "sstub",
+            "v": 1,
+            "stripe_size": self.stripe_size,
+            "locations": [[h, p, path] for h, p, path in self.locations],
+        }
+        return (json.dumps(doc, sort_keys=True) + "\n").encode("utf-8")
+
+    @classmethod
+    def decode(cls, raw: bytes) -> "StripeStub":
+        try:
+            doc = json.loads(raw.decode("utf-8"))
+        except (ValueError, UnicodeDecodeError) as exc:
+            raise InvalidRequestError(f"not a stripe stub: {exc}") from exc
+        if not isinstance(doc, dict) or doc.get("tss") != "sstub":
+            raise InvalidRequestError("not a stripe stub")
+        try:
+            stripe_size = int(doc["stripe_size"])
+            locations = tuple(
+                (str(h), int(p), str(path)) for h, p, path in doc["locations"]
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise InvalidRequestError(f"malformed stripe stub: {exc}") from exc
+        if stripe_size < 1 or not locations:
+            raise InvalidRequestError("stripe stub needs stripes and a size")
+        return cls(stripe_size, locations)
+
+
+# ---------------------------------------------------------------------------
+# the handle
+# ---------------------------------------------------------------------------
+
+
+class StripedHandle(FileHandle):
+    """An open striped file: extents scatter/gather across stripe handles.
+
+    Reads spanning several stripes are fetched **in parallel**, one worker
+    per stripe server -- each stripe has its own TCP connection, so a wide
+    read aggregates the servers' bandwidth, which is the point of
+    striping.  Writes fan out sequentially (simpler, and write ordering
+    within one handle stays obvious).
+    """
+
+    def __init__(self, handles: list[ChirpFileHandle], stripe_size: int):
+        if not handles:
+            raise DoesNotExistError("no stripe could be opened")
+        self._handles = handles
+        self.stripe_size = stripe_size
+
+    @property
+    def width(self) -> int:
+        return len(self._handles)
+
+    def pread(self, length: int, offset: int) -> bytes:
+        pieces = list(
+            map_extent(offset, length, self.width, self.stripe_size)
+        )
+        by_stripe: dict[int, list] = {}
+        for item in pieces:
+            by_stripe.setdefault(item[0], []).append(item)
+        results: dict[int, bytes] = {}  # logical offset -> data
+
+        def fetch(stripe: int) -> None:
+            handle = self._handles[stripe]
+            for _s, inner, piece, logical in by_stripe[stripe]:
+                data = handle.pread(piece, inner)
+                results[logical] = data
+                if len(data) < piece:
+                    break  # EOF in this stripe; later pieces are past it
+
+        if len(by_stripe) <= 1:
+            for stripe in by_stripe:
+                fetch(stripe)
+        else:
+            import concurrent.futures
+
+            with concurrent.futures.ThreadPoolExecutor(
+                max_workers=len(by_stripe)
+            ) as pool:
+                futures = [pool.submit(fetch, s) for s in by_stripe]
+                for f in futures:
+                    f.result()  # propagate the first stripe failure
+
+        # reassemble while contiguous; stop at the first gap/short piece
+        out = []
+        position = offset
+        for _stripe, _inner, piece, logical in pieces:
+            data = results.get(logical)
+            if data is None or logical != position:
+                break
+            out.append(data)
+            position += len(data)
+            if len(data) < piece:
+                break
+        return b"".join(out)
+
+    def pwrite(self, data: bytes, offset: int) -> int:
+        view = memoryview(data)
+        written = 0
+        for stripe, inner, piece, logical in map_extent(
+            offset, len(data), self.width, self.stripe_size
+        ):
+            start = logical - offset
+            written += self._handles[stripe].pwrite(
+                bytes(view[start : start + piece]), inner
+            )
+        return written
+
+    def fsync(self) -> None:
+        for handle in self._handles:
+            handle.fsync()
+
+    def fstat(self) -> ChirpStat:
+        stats = [h.fstat() for h in self._handles]
+        logical_size = sum(st.size for st in stats)
+        first = stats[0]
+        return ChirpStat(
+            device=first.device,
+            inode=first.inode,
+            mode=first.mode,
+            nlink=first.nlink,
+            uid=first.uid,
+            gid=first.gid,
+            size=logical_size,
+            atime=max(st.atime for st in stats),
+            mtime=max(st.mtime for st in stats),
+            ctime=max(st.ctime for st in stats),
+        )
+
+    def ftruncate(self, size: int) -> None:
+        for i, target in enumerate(
+            stripe_sizes_for_length(size, self.width, self.stripe_size)
+        ):
+            self._handles[i].ftruncate(target)
+
+    def close(self) -> None:
+        for handle in self._handles:
+            try:
+                handle.close()
+            except ChirpError:
+                pass
+
+
+# ---------------------------------------------------------------------------
+# the filesystem
+# ---------------------------------------------------------------------------
+
+
+class StripedFS(Filesystem):
+    """A DSFS-shaped filesystem whose files are striped across servers."""
+
+    def __init__(
+        self,
+        meta: MetadataStore,
+        pool: ClientPool,
+        servers: Sequence[tuple[str, int]],
+        data_dir: str,
+        stripe_size: int = DEFAULT_STRIPE_SIZE,
+        stripes: Optional[int] = None,
+        policy: Optional[RetryPolicy] = None,
+    ):
+        if stripe_size < 1:
+            raise ValueError("stripe_size must be positive")
+        self.meta = meta
+        self.pool = pool
+        self.servers = [(h, int(p)) for h, p in servers]
+        self.stripes = stripes if stripes is not None else len(self.servers)
+        if not 1 <= self.stripes <= len(self.servers):
+            raise ValueError("stripes must be between 1 and the server count")
+        self.data_dir = normalize_virtual(data_dir)
+        self.stripe_size = stripe_size
+        self.policy = policy or RetryPolicy()
+        self._rotation = 0
+
+    @staticmethod
+    def _guard_name(path: str) -> str:
+        norm = normalize_virtual(path)
+        if posixpath.basename(norm) == VOLUME_FILE:
+            raise NotAuthorizedError("the volume file is managed by the filesystem")
+        return norm
+
+    def _read_stub(self, path: str) -> StripeStub:
+        raw = self.meta.read(path)
+        if not raw:
+            raise DoesNotExistError(f"{path}: stub mid-creation")
+        return StripeStub.decode(raw)
+
+    def _open_handles(
+        self, stub: StripeStub, flags: OpenFlags, mode: int
+    ) -> StripedHandle:
+        handles = []
+        try:
+            for host, port, data_path in stub.locations:
+                client = self.pool.get(host, port)
+                handles.append(
+                    ChirpFileHandle(client, data_path, flags, mode, self.policy)
+                )
+        except ChirpError:
+            for h in handles:
+                try:
+                    h.close()
+                except ChirpError:
+                    pass
+            raise
+        return StripedHandle(handles, stub.stripe_size)
+
+    def _is_dir(self, path: str) -> bool:
+        try:
+            return self.meta.stat(path).is_dir
+        except ChirpError:
+            return False
+
+    # -- open / create ------------------------------------------------------
+
+    def open(self, path: str, flags: OpenFlags, mode: int = 0o644) -> FileHandle:
+        path = self._guard_name(path)
+        if flags.create:
+            return self._create_or_open(path, flags, mode)
+        return self._open_existing(path, flags, mode)
+
+    def _open_existing(self, path: str, flags: OpenFlags, mode: int) -> StripedHandle:
+        if self._is_dir(path):
+            raise IsADirectoryError_(path)
+        stub = self._read_stub(path)
+        dflags = replace(flags, create=False, exclusive=False)
+        try:
+            return self._open_handles(stub, dflags, mode)
+        except DoesNotExistError:
+            raise DoesNotExistError(f"{path}: dangling stripe stub") from None
+
+    def _create_or_open(self, path: str, flags: OpenFlags, mode: int) -> FileHandle:
+        # rotate the starting server so small files spread load too
+        start = self._rotation
+        self._rotation = (self._rotation + 1) % len(self.servers)
+        chosen = [
+            self.servers[(start + i) % len(self.servers)] for i in range(self.stripes)
+        ]
+        locations = tuple(
+            (h, p, self.data_dir + "/" + unique_data_name()) for h, p in chosen
+        )
+        stub = StripeStub(self.stripe_size, locations)
+        if not self.meta.create_exclusive(path, stub.encode()):
+            if flags.exclusive:
+                raise AlreadyExistsError(path)
+            return self._open_existing(path, flags, mode)
+        dflags = replace(flags, create=True, exclusive=True, write=True)
+        try:
+            return self._open_handles(stub, dflags, mode)
+        except Exception:
+            self.meta.unlink(path)
+            raise
+
+    # -- namespace ------------------------------------------------------
+
+    def stat(self, path: str) -> ChirpStat:
+        path = self._guard_name(path)
+        mst = self.meta.stat(path)
+        if mst.is_dir:
+            return mst
+        stub = self._read_stub(path)
+        logical_size = 0
+        newest = 0
+        for host, port, data_path in stub.locations:
+            client = self.pool.get(host, port)
+            try:
+                dst = self.policy.run(
+                    lambda c=client, p=data_path: c.stat(p), client.ensure_connected
+                )
+            except DoesNotExistError:
+                raise DoesNotExistError(f"{path}: dangling stripe stub") from None
+            logical_size += dst.size
+            newest = max(newest, dst.mtime)
+        return ChirpStat(
+            device=mst.device,
+            inode=mst.inode,
+            mode=mst.mode & ~0o170000 | 0o100000,  # present as a regular file
+            nlink=mst.nlink,
+            uid=mst.uid,
+            gid=mst.gid,
+            size=logical_size,
+            atime=newest,
+            mtime=newest,
+            ctime=mst.ctime,
+        )
+
+    def lstat(self, path: str) -> ChirpStat:
+        return self.meta.stat(self._guard_name(path))
+
+    def listdir(self, path: str) -> list[str]:
+        names = self.meta.listdir(path)
+        if normalize_virtual(path) == "/":
+            names = [n for n in names if n != VOLUME_FILE]
+        return names
+
+    def unlink(self, path: str, force: bool = False) -> None:
+        path = self._guard_name(path)
+        if self._is_dir(path):
+            raise IsADirectoryError_(path)
+        stub = self._read_stub(path)
+        for host, port, data_path in stub.locations:
+            try:
+                self.pool.get(host, port).unlink(data_path)
+            except DoesNotExistError:
+                continue
+            except ChirpError:
+                if not force:
+                    raise
+        self.meta.unlink(path)
+
+    def rename(self, old: str, new: str) -> None:
+        self.meta.rename(self._guard_name(old), self._guard_name(new))
+
+    def mkdir(self, path: str, mode: int = 0o755) -> None:
+        self.meta.mkdir(self._guard_name(path), mode)
+
+    def rmdir(self, path: str) -> None:
+        self.meta.rmdir(self._guard_name(path))
+
+    def truncate(self, path: str, size: int) -> None:
+        path = self._guard_name(path)
+        stub = self._read_stub(path)
+        targets = stripe_sizes_for_length(size, len(stub.locations), stub.stripe_size)
+        for (host, port, data_path), target in zip(stub.locations, targets):
+            self.pool.get(host, port).truncate(data_path, target)
+
+    def statfs(self) -> StatFs:
+        total = free = 0
+        reachable = 0
+        for host, port in self.servers:
+            client = self.pool.try_get(host, port)
+            if client is None:
+                continue
+            try:
+                fs = client.statfs()
+            except ChirpError:
+                continue
+            total += fs.total_bytes
+            free += fs.free_bytes
+            reachable += 1
+        if reachable == 0:
+            raise DisconnectedError("no data server reachable for statfs")
+        return StatFs(total, free)

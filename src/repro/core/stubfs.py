@@ -1,0 +1,288 @@
+"""The shared engine of DPFS and DSFS: a stub-indirected filesystem.
+
+The directory tree (wherever it lives -- see
+:mod:`repro.core.metastore`) holds directories and *stub files*; file
+data lives in per-volume directories on data servers.  This module
+implements the paper's semantics over that structure:
+
+- the crash-safe 3-step creation protocol (choose server + unique name;
+  exclusively create the stub; exclusively create the data file), whose
+  ordering guarantees a crash leaves at worst a *dangling stub* ("better
+  than the alternative: a data file but no stub"),
+- dangling stubs behave like dangling symlinks: ``open``/``stat`` say
+  "file not found", ``lstat`` and ``unlink`` still work,
+- deletion removes the data file first, then the stub,
+- name-only operations (``mkdir``, ``rename``, ``rmdir``) touch only the
+  directory tree,
+- failure coherence: an unreachable data server takes out exactly the
+  files stored there; everything else keeps working.
+"""
+
+from __future__ import annotations
+
+import posixpath
+from dataclasses import replace
+from typing import Optional, Sequence
+
+from repro.chirp.protocol import ChirpStat, OpenFlags, StatFs
+from repro.core.cfs import ChirpFileHandle
+from repro.core.interface import FileHandle, Filesystem
+from repro.core.metastore import MetadataStore, VOLUME_FILE
+from repro.core.placement import PlacementPolicy, RoundRobinPlacement
+from repro.core.pool import ClientPool
+from repro.core.retry import RetryPolicy
+from repro.core.stubs import STUB_MAX_BYTES, Stub, unique_data_name
+from repro.util.errors import (
+    AlreadyExistsError,
+    ChirpError,
+    DisconnectedError,
+    DoesNotExistError,
+    InvalidRequestError,
+    IsADirectoryError_,
+    NotAuthorizedError,
+    TryAgainError,
+)
+from repro.util.paths import normalize_virtual
+
+__all__ = ["StubFilesystem"]
+
+_CREATE_ATTEMPTS = 4  # retries on data-name collision
+_STUB_READ_ATTEMPTS = 5  # retries while a freshly created stub is empty
+
+
+class StubFilesystem(Filesystem):
+    """A distributed filesystem of stubs + data servers.
+
+    Not constructed directly by users; see :class:`repro.core.dpfs.DPFS`
+    and :class:`repro.core.dsfs.DSFS` for volume creation and opening.
+    """
+
+    def __init__(
+        self,
+        meta: MetadataStore,
+        pool: ClientPool,
+        servers: Sequence[tuple[str, int]],
+        data_dir: str,
+        placement: Optional[PlacementPolicy] = None,
+        policy: Optional[RetryPolicy] = None,
+        sync_writes: bool = False,
+    ):
+        if not servers:
+            raise ValueError("a stub filesystem needs at least one data server")
+        self.meta = meta
+        self.pool = pool
+        self.servers = [(h, int(p)) for h, p in servers]
+        self.data_dir = normalize_virtual(data_dir)
+        self.placement = placement or RoundRobinPlacement()
+        self.policy = policy or RetryPolicy()
+        self.sync_writes = sync_writes
+
+    # ------------------------------------------------------------------
+    # helpers
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _guard_name(path: str) -> str:
+        norm = normalize_virtual(path)
+        if posixpath.basename(norm) == VOLUME_FILE:
+            raise NotAuthorizedError("the volume file is managed by the filesystem")
+        return norm
+
+    def _read_stub(self, path: str) -> Stub:
+        """Read and decode a stub, tolerating the create-then-write window."""
+        last: Exception | None = None
+        for _ in range(_STUB_READ_ATTEMPTS):
+            raw = self.meta.read(path)
+            if len(raw) > STUB_MAX_BYTES:
+                raise InvalidRequestError(f"{path}: not a stub file")
+            if raw:
+                return Stub.decode(raw)
+            last = TryAgainError(f"{path}: stub is mid-creation")
+            self.policy.clock.sleep(0.01)
+        raise DoesNotExistError(f"{path}: stub never completed creation") from last
+
+    def _data_handle(self, stub: Stub, flags: OpenFlags, mode: int) -> ChirpFileHandle:
+        client = self.pool.get(*stub.endpoint)
+        return ChirpFileHandle(client, stub.path, flags, mode, self.policy)
+
+    def _is_dir(self, path: str) -> bool:
+        try:
+            return self.meta.stat(path).is_dir
+        except ChirpError:
+            return False
+
+    # ------------------------------------------------------------------
+    # open / create
+    # ------------------------------------------------------------------
+
+    def open(self, path: str, flags: OpenFlags, mode: int = 0o644) -> FileHandle:
+        path = self._guard_name(path)
+        if self.sync_writes and flags.write and not flags.sync:
+            flags = replace(flags, sync=True)
+        if flags.create:
+            return self._create_or_open(path, flags, mode)
+        return self._open_existing(path, flags, mode)
+
+    def _open_existing(self, path: str, flags: OpenFlags, mode: int) -> FileHandle:
+        if self._is_dir(path):
+            raise IsADirectoryError_(path)
+        dflags = replace(flags, create=False, exclusive=False)
+        # A concurrent creator may be between steps 2 and 3 (stub exists,
+        # data file not yet created); give it a moment before declaring
+        # the stub dangling.  Truly dangling stubs (crashed creator, data
+        # evicted) still surface as "file not found", per the paper.
+        for attempt in range(_STUB_READ_ATTEMPTS):
+            stub = self._read_stub(path)
+            try:
+                return self._data_handle(stub, dflags, mode)
+            except DoesNotExistError:
+                if attempt + 1 < _STUB_READ_ATTEMPTS:
+                    self.policy.clock.sleep(0.01)
+        raise DoesNotExistError(f"{path}: dangling stub (no data file)")
+
+    def _create_or_open(self, path: str, flags: OpenFlags, mode: int) -> FileHandle:
+        dead: set[tuple[str, int]] = set()
+        for _ in range(_CREATE_ATTEMPTS):
+            # Step 1: choose a server and generate a unique data name.
+            endpoint = tuple(self.placement.choose(self.servers, frozenset(dead)))
+            data_path = self.data_dir + "/" + unique_data_name()
+            stub = Stub(endpoint[0], endpoint[1], data_path)
+            # Step 2: exclusively create the stub entry.
+            if not self.meta.create_exclusive(path, stub.encode()):
+                if flags.exclusive:
+                    raise AlreadyExistsError(path)
+                return self._open_existing(path, flags, mode)
+            # Step 3: exclusively create the data file.
+            dflags = replace(flags, create=True, exclusive=True, write=True)
+            try:
+                return self._data_handle(stub, dflags, mode)
+            except AlreadyExistsError:
+                # Unlikely data-name collision: abort this creation
+                # (paper's rule) and retry with a fresh name.
+                self.meta.unlink(path)
+                continue
+            except DisconnectedError:
+                self.meta.unlink(path)
+                dead.add(endpoint)
+                continue
+            except Exception:
+                self.meta.unlink(path)
+                raise
+        raise DisconnectedError(f"{path}: no data server accepted the new file")
+
+    # ------------------------------------------------------------------
+    # metadata operations
+    # ------------------------------------------------------------------
+
+    def stat(self, path: str) -> ChirpStat:
+        path = self._guard_name(path)
+        mst = self.meta.stat(path)
+        if mst.is_dir:
+            return mst
+        stub = self._read_stub(path)
+        client = self.pool.get(*stub.endpoint)
+        try:
+            dst = self.policy.run(
+                lambda: client.stat(stub.path), client.ensure_connected
+            )
+        except DoesNotExistError:
+            raise DoesNotExistError(f"{path}: dangling stub (no data file)") from None
+        # Identity (device/inode) comes from the namespace entry; content
+        # attributes (size, times, mode bits) come from the data file.
+        return ChirpStat(
+            device=mst.device,
+            inode=mst.inode,
+            mode=dst.mode,
+            nlink=mst.nlink,
+            uid=dst.uid,
+            gid=dst.gid,
+            size=dst.size,
+            atime=dst.atime,
+            mtime=dst.mtime,
+            ctime=dst.ctime,
+        )
+
+    def lstat(self, path: str) -> ChirpStat:
+        """The stub entry itself -- works even when data is unreachable."""
+        return self.meta.stat(self._guard_name(path))
+
+    def listdir(self, path: str) -> list[str]:
+        names = self.meta.listdir(path)
+        if normalize_virtual(path) == "/":
+            names = [n for n in names if n != VOLUME_FILE]
+        return names
+
+    def unlink(self, path: str, force: bool = False) -> None:
+        """Delete data first, then the stub (the paper's ordering).
+
+        ``force=True`` removes the stub even when the data server is
+        unreachable -- the escape hatch for permanently lost servers.
+        """
+        path = self._guard_name(path)
+        if self._is_dir(path):
+            raise IsADirectoryError_(path)
+        stub = self._read_stub(path)
+        try:
+            client = self.pool.get(*stub.endpoint)
+            self.policy.run(
+                lambda: client.unlink(stub.path), client.ensure_connected
+            )
+        except DoesNotExistError:
+            pass  # dangling stub: nothing to delete on the data side
+        except DisconnectedError:
+            if not force:
+                raise
+        self.meta.unlink(path)
+
+    def rename(self, old: str, new: str) -> None:
+        # Name-only: the stub moves, the data file never does.
+        self.meta.rename(self._guard_name(old), self._guard_name(new))
+
+    def mkdir(self, path: str, mode: int = 0o755) -> None:
+        self.meta.mkdir(self._guard_name(path), mode)
+
+    def rmdir(self, path: str) -> None:
+        self.meta.rmdir(self._guard_name(path))
+
+    def truncate(self, path: str, size: int) -> None:
+        path = self._guard_name(path)
+        stub = self._read_stub(path)
+        client = self.pool.get(*stub.endpoint)
+        self.policy.run(
+            lambda: client.truncate(stub.path, size), client.ensure_connected
+        )
+
+    def utime(self, path: str, atime: int, mtime: int) -> None:
+        path = self._guard_name(path)
+        stub = self._read_stub(path)
+        client = self.pool.get(*stub.endpoint)
+        self.policy.run(
+            lambda: client.utime(stub.path, atime, mtime), client.ensure_connected
+        )
+
+    def statfs(self) -> StatFs:
+        """Aggregate capacity over the *reachable* data servers."""
+        total = free = 0
+        reachable = 0
+        for host, port in self.servers:
+            client = self.pool.try_get(host, port)
+            if client is None:
+                continue
+            try:
+                fs = self.policy.run(client.statfs, client.ensure_connected)
+            except ChirpError:
+                continue
+            total += fs.total_bytes
+            free += fs.free_bytes
+            reachable += 1
+        if reachable == 0:
+            raise DisconnectedError("no data server reachable for statfs")
+        return StatFs(total, free)
+
+    # ------------------------------------------------------------------
+    # introspection used by tools and tests
+    # ------------------------------------------------------------------
+
+    def stub_for(self, path: str) -> Stub:
+        """Expose the stub for a path (tools, tests, repair scripts)."""
+        return self._read_stub(self._guard_name(path))

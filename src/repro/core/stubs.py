@@ -1,0 +1,79 @@
+"""Stub files: the pointers that stitch distributed filesystems together.
+
+"Where the directory structure indicates a file, it instead contains a
+stub file pointing to the file data elsewhere."  A stub is a one-line
+JSON document naming the data server and the data file's name there.
+Stubs are deliberately tiny and self-describing, so a directory server
+(or a user with ``cat``) can always tell where data lives -- part of the
+failure-coherence story: even if the directory service is lost, data
+files remain in distinguishable per-volume directories on each server.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import secrets
+import socket
+import time
+from dataclasses import dataclass
+
+from repro.util.errors import InvalidRequestError
+
+__all__ = ["Stub", "unique_data_name", "STUB_MAX_BYTES"]
+
+STUB_MAX_BYTES = 4096  # anything bigger is certainly not a stub
+
+
+@dataclass(frozen=True)
+class Stub:
+    """A pointer to file data on a file server."""
+
+    host: str
+    port: int
+    path: str  # data file path on that server
+
+    def encode(self) -> bytes:
+        doc = {"tss": "stub", "v": 1, "host": self.host, "port": self.port, "path": self.path}
+        return (json.dumps(doc, sort_keys=True) + "\n").encode("utf-8")
+
+    @classmethod
+    def decode(cls, raw: bytes) -> "Stub":
+        try:
+            doc = json.loads(raw.decode("utf-8"))
+        except (ValueError, UnicodeDecodeError) as exc:
+            raise InvalidRequestError(f"not a stub file: {exc}") from exc
+        if not isinstance(doc, dict) or doc.get("tss") != "stub":
+            raise InvalidRequestError("not a stub file")
+        try:
+            return cls(host=str(doc["host"]), port=int(doc["port"]), path=str(doc["path"]))
+        except (KeyError, TypeError, ValueError) as exc:
+            raise InvalidRequestError(f"malformed stub: {exc}") from exc
+
+    @classmethod
+    def is_stub(cls, raw: bytes) -> bool:
+        try:
+            cls.decode(raw)
+            return True
+        except InvalidRequestError:
+            return False
+
+    @property
+    def endpoint(self) -> tuple[str, int]:
+        return (self.host, self.port)
+
+
+def unique_data_name() -> str:
+    """Generate a collision-resistant data file name.
+
+    Per the paper's creation protocol, the name is derived from "the
+    client's IP address, current time, and a random number"; uniqueness is
+    then *enforced* by exclusive create on the data server, so this only
+    needs to make collisions rare, not impossible.
+    """
+    try:
+        ip = socket.gethostbyname(socket.gethostname())
+    except OSError:
+        ip = "0.0.0.0"
+    ip_tag = ip.replace(".", "-")
+    return f"file-{ip_tag}-{time.time_ns():x}-{secrets.token_hex(4)}"

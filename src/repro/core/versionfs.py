@@ -1,0 +1,449 @@
+"""VersionedFS: a filesystem that transparently versions data.
+
+The third word of the paper's future-work sentence ("filesystems that
+transparently stripe, replicate, and **version** data"), and the enabling
+piece of its distributed-backup vision: "allowing cooperating users to
+easily record many backup images, thus allowing for on-line perusal,
+recovery, and forensic analysis of data over time."
+
+Every write session is copy-on-write: opening a file for writing creates
+a fresh data file (seeded with the current contents unless truncating),
+and *closing* the handle atomically commits it as the newest version.
+The version history lives in the stub, updated by write-to-temp +
+rename -- the same atomic primitive everything else here uses.
+
+Semantics:
+
+- readers always see the latest *committed* version; a writer's
+  in-progress changes are invisible until close (snapshot isolation at
+  file granularity);
+- a crash before close leaves the history untouched and at worst one
+  orphan data file, which :func:`repro.core.fsck.fsck_volume`-style
+  scanning can reclaim;
+- ``versions(path)`` lists history; ``open_version``/``read_version``
+  peruse it; ``restore`` promotes an old version (itself recorded as a
+  new version -- history is append-only); ``prune`` trims old data.
+"""
+
+from __future__ import annotations
+
+import json
+import posixpath
+import time
+from dataclasses import dataclass, replace
+from typing import Optional, Sequence
+
+from repro.chirp.protocol import ChirpStat, OpenFlags, StatFs
+from repro.core.cfs import ChirpFileHandle
+from repro.core.interface import FileHandle, Filesystem
+from repro.core.metastore import MetadataStore, VOLUME_FILE
+from repro.core.placement import PlacementPolicy, RoundRobinPlacement
+from repro.core.pool import ClientPool
+from repro.core.retry import RetryPolicy
+from repro.core.stubs import unique_data_name
+from repro.util.errors import (
+    AlreadyExistsError,
+    ChirpError,
+    DisconnectedError,
+    DoesNotExistError,
+    InvalidRequestError,
+    IsADirectoryError_,
+    NotAuthorizedError,
+)
+from repro.util.paths import normalize_virtual
+
+__all__ = ["VersionedFS", "VersionStub", "Version"]
+
+_TMP_SUFFIX = ".__vtmp"
+
+
+@dataclass(frozen=True)
+class Version:
+    """One committed version of a file."""
+
+    number: int
+    host: str
+    port: int
+    path: str
+    committed_at: float
+
+    def to_list(self) -> list:
+        return [self.number, self.host, self.port, self.path, self.committed_at]
+
+    @classmethod
+    def from_list(cls, items) -> "Version":
+        number, host, port, path, committed_at = items
+        return cls(int(number), str(host), int(port), str(path), float(committed_at))
+
+    @property
+    def endpoint(self) -> tuple[str, int]:
+        return (self.host, self.port)
+
+
+@dataclass(frozen=True)
+class VersionStub:
+    """A file's version history (newest last)."""
+
+    versions: tuple[Version, ...]
+
+    def encode(self) -> bytes:
+        doc = {
+            "tss": "vstub",
+            "v": 1,
+            "versions": [v.to_list() for v in self.versions],
+        }
+        return (json.dumps(doc, sort_keys=True) + "\n").encode("utf-8")
+
+    @classmethod
+    def decode(cls, raw: bytes) -> "VersionStub":
+        try:
+            doc = json.loads(raw.decode("utf-8"))
+        except (ValueError, UnicodeDecodeError) as exc:
+            raise InvalidRequestError(f"not a version stub: {exc}") from exc
+        if not isinstance(doc, dict) or doc.get("tss") != "vstub":
+            raise InvalidRequestError("not a version stub")
+        try:
+            versions = tuple(Version.from_list(v) for v in doc["versions"])
+        except (KeyError, TypeError, ValueError) as exc:
+            raise InvalidRequestError(f"malformed version stub: {exc}") from exc
+        if not versions:
+            raise InvalidRequestError("version stub holds no versions")
+        return cls(versions)
+
+    @property
+    def latest(self) -> Version:
+        return self.versions[-1]
+
+    def get(self, number: int) -> Version:
+        for v in self.versions:
+            if v.number == number:
+                return v
+        raise DoesNotExistError(f"no version {number}")
+
+
+class _CommitOnClose(FileHandle):
+    """Wraps a data handle; commits the new version when closed."""
+
+    def __init__(self, inner: ChirpFileHandle, commit):
+        self._inner = inner
+        self._commit = commit
+        self._closed = False
+
+    def pread(self, length: int, offset: int) -> bytes:
+        return self._inner.pread(length, offset)
+
+    def pwrite(self, data: bytes, offset: int) -> int:
+        return self._inner.pwrite(data, offset)
+
+    def fsync(self) -> None:
+        self._inner.fsync()
+
+    def fstat(self) -> ChirpStat:
+        return self._inner.fstat()
+
+    def ftruncate(self, size: int) -> None:
+        self._inner.ftruncate(size)
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        try:
+            self._inner.fsync()
+        except ChirpError:
+            pass
+        self._inner.close()
+        self._commit()
+
+    def abort(self) -> None:
+        """Close without committing (the version never happened)."""
+        self._closed = True
+        self._inner.close()
+
+
+class VersionedFS(Filesystem):
+    """A DSFS-shaped filesystem with per-file version history."""
+
+    def __init__(
+        self,
+        meta: MetadataStore,
+        pool: ClientPool,
+        servers: Sequence[tuple[str, int]],
+        data_dir: str,
+        placement: Optional[PlacementPolicy] = None,
+        policy: Optional[RetryPolicy] = None,
+        now=time.time,
+    ):
+        if not servers:
+            raise ValueError("a versioned filesystem needs data servers")
+        self.meta = meta
+        self.pool = pool
+        self.servers = [(h, int(p)) for h, p in servers]
+        self.data_dir = normalize_virtual(data_dir)
+        self.placement = placement or RoundRobinPlacement()
+        self.policy = policy or RetryPolicy()
+        self.now = now
+
+    # -- plumbing -------------------------------------------------------
+
+    @staticmethod
+    def _guard_name(path: str) -> str:
+        norm = normalize_virtual(path)
+        base = posixpath.basename(norm)
+        if base == VOLUME_FILE or base.endswith(_TMP_SUFFIX):
+            raise NotAuthorizedError("reserved name")
+        return norm
+
+    def _read_stub(self, path: str) -> VersionStub:
+        raw = self.meta.read(path)
+        if not raw:
+            raise DoesNotExistError(f"{path}: stub mid-creation")
+        return VersionStub.decode(raw)
+
+    def _swing_stub(self, path: str, stub: VersionStub) -> None:
+        """Atomically replace the version history via tmp + rename."""
+        tmp = path + _TMP_SUFFIX
+        try:
+            self.meta.unlink(tmp)
+        except ChirpError:
+            pass
+        if not self.meta.create_exclusive(tmp, stub.encode()):
+            raise AlreadyExistsError(f"{path}: concurrent version commit")
+        self.meta.rename(tmp, path)
+
+    def _new_data_location(self) -> tuple[tuple[str, int], str]:
+        endpoint = tuple(self.placement.choose(self.servers))
+        return endpoint, self.data_dir + "/" + unique_data_name()
+
+    def _data_handle(
+        self, endpoint, data_path: str, flags: OpenFlags, mode: int
+    ) -> ChirpFileHandle:
+        client = self.pool.get(*endpoint)
+        return ChirpFileHandle(client, data_path, flags, mode, self.policy)
+
+    def _is_dir(self, path: str) -> bool:
+        try:
+            return self.meta.stat(path).is_dir
+        except ChirpError:
+            return False
+
+    # -- open (read latest / copy-on-write) ------------------------------
+
+    def open(self, path: str, flags: OpenFlags, mode: int = 0o644) -> FileHandle:
+        path = self._guard_name(path)
+        if not flags.write:
+            version = self._read_stub(path).latest
+            return self._data_handle(
+                version.endpoint, version.path, replace(flags, create=False), mode
+            )
+        if self._is_dir(path):
+            raise IsADirectoryError_(path)
+        return self._open_for_writing(path, flags, mode)
+
+    def _open_for_writing(self, path: str, flags: OpenFlags, mode: int) -> FileHandle:
+        exists = True
+        try:
+            stub = self._read_stub(path)
+        except (DoesNotExistError, ChirpError):
+            exists = False
+            stub = None
+        if exists and flags.exclusive:
+            raise AlreadyExistsError(path)
+        if not exists and not flags.create:
+            raise DoesNotExistError(path)
+
+        endpoint, data_path = self._new_data_location()
+        dflags = replace(flags, create=True, exclusive=True)
+        handle = self._data_handle(endpoint, data_path, dflags, mode)
+
+        # copy-on-write: seed with the current contents unless truncating
+        if exists and not flags.truncate:
+            source = stub.latest
+            client = self.pool.get(*source.endpoint)
+            data = client.getfile(source.path)
+            offset = 0
+            view = memoryview(data)
+            while offset < len(data):
+                offset += handle.pwrite(bytes(view[offset : offset + (1 << 20)]), offset)
+
+        def commit():
+            current: Optional[VersionStub] = None
+            try:
+                current = self._read_stub(path)
+            except (DoesNotExistError, ChirpError):
+                current = None
+            next_number = (current.latest.number + 1) if current else 1
+            version = Version(
+                next_number, endpoint[0], endpoint[1], data_path, self.now()
+            )
+            history = (current.versions if current else ()) + (version,)
+            if current is None:
+                if not self.meta.create_exclusive(path, VersionStub((version,)).encode()):
+                    # we raced another creator: append to their history
+                    current = self._read_stub(path)
+                    version2 = Version(
+                        current.latest.number + 1,
+                        endpoint[0],
+                        endpoint[1],
+                        data_path,
+                        self.now(),
+                    )
+                    self._swing_stub(path, VersionStub(current.versions + (version2,)))
+            else:
+                self._swing_stub(path, VersionStub(history))
+
+        return _CommitOnClose(handle, commit)
+
+    # -- version perusal -------------------------------------------------
+
+    def versions(self, path: str) -> list[Version]:
+        """The file's committed history, oldest first."""
+        return list(self._read_stub(self._guard_name(path)).versions)
+
+    def open_version(self, path: str, number: int) -> FileHandle:
+        version = self._read_stub(self._guard_name(path)).get(number)
+        return self._data_handle(
+            version.endpoint, version.path, OpenFlags(read=True), 0
+        )
+
+    def read_version(self, path: str, number: int) -> bytes:
+        with self.open_version(path, number) as handle:
+            chunks = []
+            offset = 0
+            while True:
+                chunk = handle.pread(1 << 20, offset)
+                if not chunk:
+                    return b"".join(chunks)
+                chunks.append(chunk)
+                offset += len(chunk)
+
+    def restore(self, path: str, number: int) -> Version:
+        """Promote an old version to newest (history stays append-only)."""
+        path = self._guard_name(path)
+        stub = self._read_stub(path)
+        old = stub.get(number)
+        promoted = Version(
+            stub.latest.number + 1, old.host, old.port, old.path, self.now()
+        )
+        self._swing_stub(path, VersionStub(stub.versions + (promoted,)))
+        return promoted
+
+    def prune(self, path: str, keep: int = 1) -> int:
+        """Drop all but the newest ``keep`` versions; returns data files
+        actually deleted (a data file shared via ``restore`` survives
+        until its last referencing version is pruned)."""
+        if keep < 1:
+            raise ValueError("must keep at least one version")
+        path = self._guard_name(path)
+        stub = self._read_stub(path)
+        if len(stub.versions) <= keep:
+            return 0
+        kept = stub.versions[-keep:]
+        dropped = stub.versions[:-keep]
+        self._swing_stub(path, VersionStub(kept))
+        still_referenced = {(v.host, v.port, v.path) for v in kept}
+        deleted = 0
+        for version in dropped:
+            key = (version.host, version.port, version.path)
+            if key in still_referenced:
+                continue
+            still_referenced.add(key)  # delete each data file once
+            try:
+                self.pool.get(*version.endpoint).unlink(version.path)
+                deleted += 1
+            except ChirpError:
+                continue
+        return deleted
+
+    # -- namespace ------------------------------------------------------
+
+    def stat(self, path: str) -> ChirpStat:
+        path = self._guard_name(path)
+        mst = self.meta.stat(path)
+        if mst.is_dir:
+            return mst
+        version = self._read_stub(path).latest
+        client = self.pool.get(*version.endpoint)
+        dst = self.policy.run(
+            lambda: client.stat(version.path), client.ensure_connected
+        )
+        return ChirpStat(
+            device=mst.device,
+            inode=mst.inode,
+            mode=dst.mode,
+            nlink=mst.nlink,
+            uid=dst.uid,
+            gid=dst.gid,
+            size=dst.size,
+            atime=dst.atime,
+            mtime=dst.mtime,
+            ctime=dst.ctime,
+        )
+
+    def lstat(self, path: str) -> ChirpStat:
+        return self.meta.stat(self._guard_name(path))
+
+    def listdir(self, path: str) -> list[str]:
+        names = self.meta.listdir(path)
+        names = [n for n in names if not n.endswith(_TMP_SUFFIX)]
+        if normalize_virtual(path) == "/":
+            names = [n for n in names if n != VOLUME_FILE]
+        return names
+
+    def unlink(self, path: str, force: bool = False) -> None:
+        """Delete the file and its entire history (data first)."""
+        path = self._guard_name(path)
+        if self._is_dir(path):
+            raise IsADirectoryError_(path)
+        stub = self._read_stub(path)
+        seen = set()
+        for version in stub.versions:
+            key = (version.host, version.port, version.path)
+            if key in seen:
+                continue
+            seen.add(key)
+            try:
+                self.pool.get(*version.endpoint).unlink(version.path)
+            except DoesNotExistError:
+                continue
+            except ChirpError:
+                if not force:
+                    raise
+        self.meta.unlink(path)
+
+    def rename(self, old: str, new: str) -> None:
+        self.meta.rename(self._guard_name(old), self._guard_name(new))
+
+    def mkdir(self, path: str, mode: int = 0o755) -> None:
+        self.meta.mkdir(self._guard_name(path), mode)
+
+    def rmdir(self, path: str) -> None:
+        self.meta.rmdir(self._guard_name(path))
+
+    def truncate(self, path: str, size: int) -> None:
+        """Truncation is itself a versioned write."""
+        path = self._guard_name(path)
+        flags = OpenFlags(read=True, write=True)
+        handle = self._open_for_writing(path, flags, 0o644)
+        try:
+            handle.ftruncate(size)
+        finally:
+            handle.close()
+
+    def statfs(self) -> StatFs:
+        total = free = 0
+        reachable = 0
+        for host, port in self.servers:
+            client = self.pool.try_get(host, port)
+            if client is None:
+                continue
+            try:
+                fs = client.statfs()
+            except ChirpError:
+                continue
+            total += fs.total_bytes
+            free += fs.free_bytes
+            reachable += 1
+        if reachable == 0:
+            raise DisconnectedError("no data server reachable for statfs")
+        return StatFs(total, free)

@@ -1,0 +1,24 @@
+"""A small indexed metadata database: the substrate for DSDB and GEMS.
+
+The paper's distributed shared database needs "a database server ... to
+store file metadata as well as pointers to files", queried by attribute to
+yield the names of matching files.  This package provides exactly that and
+no more: a durable record store with secondary indexes
+(:mod:`repro.db.engine`), a simple typed query language
+(:mod:`repro.db.query`), and a TCP server/client pair reusing the Chirp
+authentication handshake (:mod:`repro.db.server`, :mod:`repro.db.client`).
+"""
+
+from repro.db.engine import MetadataDB, Record
+from repro.db.query import Condition, Query
+from repro.db.server import DatabaseServer
+from repro.db.client import DatabaseClient
+
+__all__ = [
+    "MetadataDB",
+    "Record",
+    "Condition",
+    "Query",
+    "DatabaseServer",
+    "DatabaseClient",
+]

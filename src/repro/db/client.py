@@ -1,0 +1,104 @@
+"""Client for the metadata-database server."""
+
+from __future__ import annotations
+
+import json
+import socket
+import threading
+from typing import Optional
+
+from repro.auth.methods import ClientCredentials, authenticate_client
+from repro.db.query import Query
+from repro.util.errors import DisconnectedError, error_from_status
+from repro.util.wire import LineStream
+
+__all__ = ["DatabaseClient"]
+
+
+class DatabaseClient:
+    """A connection to one :class:`~repro.db.server.DatabaseServer`."""
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        credentials: Optional[ClientCredentials] = None,
+        timeout: float = 30.0,
+    ):
+        self.host = host
+        self.port = port
+        self.credentials = credentials or ClientCredentials()
+        self.timeout = timeout
+        self._lock = threading.RLock()
+        self._stream: Optional[LineStream] = None
+        self.subject: Optional[str] = None
+        self.connect()
+
+    def connect(self) -> None:
+        with self._lock:
+            self.close()
+            try:
+                sock = socket.create_connection(
+                    (self.host, self.port), timeout=self.timeout
+                )
+            except OSError as exc:
+                raise DisconnectedError(
+                    f"connect to db {self.host}:{self.port} failed: {exc}"
+                ) from exc
+            stream = LineStream(sock)
+            try:
+                self.subject = authenticate_client(stream, self.credentials)
+            except Exception:
+                stream.close()
+                raise
+            self._stream = stream
+
+    def close(self) -> None:
+        with self._lock:
+            if self._stream is not None:
+                self._stream.close()
+                self._stream = None
+
+    def __enter__(self) -> "DatabaseClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def _call(self, cmd: dict) -> dict:
+        with self._lock:
+            if self._stream is None:
+                raise DisconnectedError("db client is not connected")
+            try:
+                self._stream.write_line("dbcmd", json.dumps(cmd))
+                reply = self._stream.read_tokens()
+            except DisconnectedError:
+                self.close()
+                raise
+            status = int(reply[0])
+            if status < 0:
+                raise error_from_status(status, reply[1] if len(reply) > 1 else "")
+            return json.loads(reply[1])
+
+    # -- typed operations -------------------------------------------------
+
+    def insert(self, record: dict) -> str:
+        return self._call({"op": "insert", "record": record})["id"]
+
+    def get(self, rid: str) -> Optional[dict]:
+        return self._call({"op": "get", "id": rid})["record"]
+
+    def update(self, rid: str, fields: dict) -> dict:
+        return self._call({"op": "update", "id": rid, "fields": fields})["record"]
+
+    def delete(self, rid: str) -> bool:
+        return self._call({"op": "delete", "id": rid})["deleted"]
+
+    def query(self, query: Query, limit: Optional[int] = None) -> list[dict]:
+        cmd = {"op": "query", "query": query.to_json_obj()}
+        if limit is not None:
+            cmd["limit"] = limit
+        return self._call(cmd)["records"]
+
+    def count(self, query: Query) -> int:
+        return self._call({"op": "count", "query": query.to_json_obj()})["count"]

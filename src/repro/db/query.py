@@ -1,0 +1,99 @@
+"""Typed query language for the metadata database.
+
+A :class:`Query` is a conjunction of :class:`Condition` terms; each term
+compares one record field against a literal.  Supported operators cover
+what GEMS and the DSDB examples need: equality, ordering, substring, and
+shell-glob matching.  Queries serialize to plain JSON lists so they travel
+over the wire unchanged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fnmatch import fnmatchcase
+from typing import Any, Iterable
+
+__all__ = ["Condition", "Query", "OPERATORS"]
+
+
+def _cmp_guard(fn):
+    """Ordered comparisons on mismatched types are False, not an error."""
+
+    def inner(a, b):
+        try:
+            return fn(a, b)
+        except TypeError:
+            return False
+
+    return inner
+
+
+OPERATORS = {
+    "eq": lambda a, b: a == b,
+    "ne": lambda a, b: a != b,
+    "lt": _cmp_guard(lambda a, b: a < b),
+    "le": _cmp_guard(lambda a, b: a <= b),
+    "gt": _cmp_guard(lambda a, b: a > b),
+    "ge": _cmp_guard(lambda a, b: a >= b),
+    "contains": lambda a, b: isinstance(a, (str, list, tuple, dict)) and b in a,
+    "glob": lambda a, b: isinstance(a, str) and fnmatchcase(a, str(b)),
+    "exists": lambda a, b: a is not None,
+}
+
+
+@dataclass(frozen=True)
+class Condition:
+    """One comparison: ``field <op> value``."""
+
+    field: str
+    op: str
+    value: Any = None
+
+    def __post_init__(self):
+        if self.op not in OPERATORS:
+            raise ValueError(f"unknown operator {self.op!r}")
+
+    def matches(self, record: dict) -> bool:
+        present = self.field in record
+        if self.op == "exists":
+            return present if self.value in (None, True) else not present
+        if not present:
+            return False
+        return OPERATORS[self.op](record[self.field], self.value)
+
+    def to_list(self) -> list:
+        return [self.field, self.op, self.value]
+
+    @classmethod
+    def from_list(cls, items: Iterable) -> "Condition":
+        field, op, value = list(items)
+        return cls(field, op, value)
+
+
+@dataclass(frozen=True)
+class Query:
+    """A conjunction of conditions; an empty query matches everything."""
+
+    conditions: tuple[Condition, ...] = ()
+
+    @classmethod
+    def where(cls, **equalities: Any) -> "Query":
+        """Shorthand for pure-equality queries: ``Query.where(kind='traj')``."""
+        return cls(tuple(Condition(k, "eq", v) for k, v in equalities.items()))
+
+    def and_(self, field: str, op: str, value: Any = None) -> "Query":
+        return Query(self.conditions + (Condition(field, op, value),))
+
+    def matches(self, record: dict) -> bool:
+        return all(c.matches(record) for c in self.conditions)
+
+    def to_json_obj(self) -> list:
+        return [c.to_list() for c in self.conditions]
+
+    @classmethod
+    def from_json_obj(cls, obj: Iterable) -> "Query":
+        return cls(tuple(Condition.from_list(item) for item in obj))
+
+    def equality_terms(self) -> dict[str, Any]:
+        """Fields compared by equality (used for index selection)."""
+        return {c.field: c.value for c in self.conditions if c.op == "eq"}

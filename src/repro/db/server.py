@@ -1,0 +1,185 @@
+"""TCP front-end for the metadata database.
+
+Reuses the Chirp authentication handshake, then serves one JSON command
+per line::
+
+    C: dbcmd <json>
+    S: 0 <json-result>      |  <negative status> <message>
+
+Commands are JSON objects: ``{"op": "insert", "record": {...}}`` etc.
+Write access can be restricted to a subject allow-list, matching the
+paper's GEMS deployments where "one research group may establish a file
+server allowing all of its members to read and write data, while allowing
+external users only to read."
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import socket
+import threading
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.auth.methods import AuthContext, AuthFailed, authenticate_server
+from repro.auth.subjects import subject_matches
+from repro.db.engine import MetadataDB
+from repro.db.query import Query
+from repro.util.errors import DisconnectedError, StatusCode
+from repro.util.wire import LineStream
+
+__all__ = ["DatabaseServer", "DatabaseConfig"]
+
+log = logging.getLogger("repro.db.server")
+
+_WRITE_OPS = {"insert", "update", "delete"}
+
+
+@dataclass
+class DatabaseConfig:
+    host: str = "127.0.0.1"
+    port: int = 0
+    auth: AuthContext = field(default_factory=AuthContext)
+    #: subject patterns allowed to write; empty means "anyone authenticated".
+    writers: tuple[str, ...] = ()
+    #: subject patterns allowed to read; empty means "anyone authenticated".
+    readers: tuple[str, ...] = ()
+
+
+class DatabaseServer:
+    """A running metadata-database server."""
+
+    def __init__(self, db: MetadataDB, config: DatabaseConfig | None = None):
+        self.db = db
+        self.config = config or DatabaseConfig()
+        self._listener: Optional[socket.socket] = None
+        self._threads: list[threading.Thread] = []
+        self._conn_socks: set[socket.socket] = set()
+        self._conn_lock = threading.Lock()
+        self._stop = threading.Event()
+        self.address: tuple[str, int] = (self.config.host, self.config.port)
+
+    def start(self) -> "DatabaseServer":
+        sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        sock.bind((self.config.host, self.config.port))
+        sock.listen(64)
+        sock.settimeout(0.2)  # prompt stop(): see chirp server
+        self._listener = sock
+        self.address = sock.getsockname()[:2]
+        t = threading.Thread(target=self._accept_loop, name="db-accept", daemon=True)
+        t.start()
+        self._threads.append(t)
+        log.info("database server listening on %s", self.address)
+        return self
+
+    def stop(self) -> None:
+        self._stop.set()
+        if self._listener is not None:
+            try:
+                self._listener.close()
+            except OSError:
+                pass
+            self._listener = None
+        with self._conn_lock:
+            socks = list(self._conn_socks)
+        for s in socks:
+            try:
+                s.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+            try:
+                s.close()
+            except OSError:
+                pass
+        for t in self._threads:
+            t.join(timeout=5)
+        self._threads.clear()
+
+    def __enter__(self) -> "DatabaseServer":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+    def _accept_loop(self) -> None:
+        assert self._listener is not None
+        while not self._stop.is_set():
+            try:
+                conn, addr = self._listener.accept()
+            except socket.timeout:
+                continue
+            except OSError:
+                return
+            conn.settimeout(None)
+            with self._conn_lock:
+                self._conn_socks.add(conn)
+            t = threading.Thread(
+                target=self._serve, args=(conn, addr), daemon=True
+            )
+            t.start()
+
+    def _allowed(self, subject: str, op: str) -> bool:
+        patterns = self.config.writers if op in _WRITE_OPS else self.config.readers
+        if not patterns:
+            return True
+        return any(subject_matches(p, subject) for p in patterns)
+
+    def _serve(self, sock: socket.socket, addr) -> None:
+        stream = LineStream(sock)
+        try:
+            subject = authenticate_server(stream, self.config.auth, addr[0])
+            while not self._stop.is_set():
+                tokens = stream.read_tokens()
+                if not tokens or tokens[0] != "dbcmd" or len(tokens) != 2:
+                    stream.write_line(int(StatusCode.INVALID_REQUEST), "expected dbcmd")
+                    continue
+                self._execute(stream, subject, tokens[1])
+        except (DisconnectedError, AuthFailed):
+            pass
+        except Exception:  # pragma: no cover - diagnostic guard
+            log.exception("db connection handler crashed")
+        finally:
+            stream.close()
+            with self._conn_lock:
+                self._conn_socks.discard(sock)
+
+    def _execute(self, stream: LineStream, subject: str, raw: str) -> None:
+        try:
+            cmd = json.loads(raw)
+            op = cmd["op"]
+        except (ValueError, KeyError, TypeError):
+            stream.write_line(int(StatusCode.INVALID_REQUEST), "malformed command")
+            return
+        if not self._allowed(subject, op):
+            stream.write_line(
+                int(StatusCode.NOT_AUTHORIZED), f"{subject} may not {op}"
+            )
+            return
+        try:
+            result = self._apply(op, cmd)
+        except KeyError as exc:
+            stream.write_line(int(StatusCode.DOESNT_EXIST), str(exc))
+            return
+        except (ValueError, TypeError) as exc:
+            stream.write_line(int(StatusCode.INVALID_REQUEST), str(exc))
+            return
+        stream.write_line(0, json.dumps(result))
+
+    def _apply(self, op: str, cmd: dict):
+        if op == "insert":
+            return {"id": self.db.insert(cmd["record"])}
+        if op == "get":
+            return {"record": self.db.get(cmd["id"])}
+        if op == "update":
+            return {"record": self.db.update(cmd["id"], cmd["fields"])}
+        if op == "delete":
+            return {"deleted": self.db.delete(cmd["id"])}
+        if op == "query":
+            q = Query.from_json_obj(cmd.get("query", []))
+            return {"records": self.db.query(q, cmd.get("limit"))}
+        if op == "count":
+            q = Query.from_json_obj(cmd.get("query", []))
+            return {"count": self.db.count(q)}
+        raise ValueError(f"unknown op {op!r}")

@@ -1,0 +1,43 @@
+"""GEMS: Grid Enabled Molecular Simulations -- preservation on a DSDB.
+
+The paper's bioinformatics deployment: files are stored on file servers
+and indexed in a database, and "two active components work in concert to
+maintain replicas":
+
+- the :class:`~repro.gems.auditor.Auditor` "periodically scans the
+  database and then verifies the location and integrity of data on file
+  servers", noting damage and loss;
+- the :class:`~repro.gems.replicator.Replicator` "examines the notations
+  and then repairs them by re-replicating the remaining copies", up to a
+  user-specified storage budget.
+
+:class:`~repro.gems.preservation.PreservationService` wires the two into
+a periodic control loop and records the timeline that Figure 9 plots.
+"""
+
+from repro.gems.policy import (
+    ReplicationPolicy,
+    BudgetGreedyPolicy,
+    FixedCountPolicy,
+    plan_drops,
+)
+from repro.gems.auditor import Auditor, AuditReport
+from repro.gems.replicator import Replicator, RepairReport
+from repro.gems.preservation import PreservationService, TimelinePoint
+from repro.gems.recovery import RecoveryReport, rebuild_database, rescan_servers
+
+__all__ = [
+    "RecoveryReport",
+    "rebuild_database",
+    "rescan_servers",
+    "ReplicationPolicy",
+    "BudgetGreedyPolicy",
+    "FixedCountPolicy",
+    "plan_drops",
+    "Auditor",
+    "AuditReport",
+    "Replicator",
+    "RepairReport",
+    "PreservationService",
+    "TimelinePoint",
+]

@@ -1,0 +1,80 @@
+"""The replicator: repair what the auditor noted, within the budget."""
+
+from __future__ import annotations
+
+import logging
+from dataclasses import dataclass
+
+from repro.core.dsdb import DSDB, FILE_KIND, live_replicas
+from repro.db.query import Query
+from repro.gems.policy import RecordSummary, ReplicationPolicy, plan_drops
+
+__all__ = ["Replicator", "RepairReport"]
+
+log = logging.getLogger("repro.gems.replicator")
+
+
+@dataclass
+class RepairReport:
+    """Outcome of one repair pass."""
+
+    dropped: int = 0
+    added: int = 0
+    failed_additions: int = 0
+    stored_bytes: int = 0
+
+
+class Replicator:
+    """Examines auditor notations and re-replicates remaining copies.
+
+    One pass:
+
+    1. forget replicas marked ``missing`` and remove+forget those marked
+       ``damaged`` (their bytes are reclaimed);
+    2. ask the policy which records deserve another copy, given the
+       per-record live-copy counts and the server count;
+    3. perform the copies, streaming from a surviving replica.
+    """
+
+    def __init__(self, dsdb: DSDB, policy: ReplicationPolicy):
+        self.dsdb = dsdb
+        self.policy = policy
+
+    def repair_once(self, max_additions: int | None = None) -> RepairReport:
+        report = RepairReport()
+        records = self.dsdb.query(Query.where(tss_kind=FILE_KIND))
+        # Phase 1: drop bad replicas.
+        fresh = []
+        for record in records:
+            bad = plan_drops(record)
+            for replica in bad:
+                record = self.dsdb.drop_replica(record, replica)
+                report.dropped += 1
+            fresh.append(record)
+        # Phase 2: plan.
+        summaries = [RecordSummary.from_record(r) for r in fresh]
+        plan = self.policy.plan_additions(summaries, len(self.dsdb.servers))
+        if max_additions is not None:
+            plan = plan[:max_additions]
+        # Phase 3: copy.
+        for record_id in plan:
+            updated = self.dsdb.add_replica(record_id)
+            if updated is None:
+                report.failed_additions += 1
+            else:
+                report.added += 1
+        report.stored_bytes = self._stored_live_bytes()
+        if report.dropped or report.added:
+            log.info(
+                "repair: dropped %d, added %d (stored now %d bytes)",
+                report.dropped,
+                report.added,
+                report.stored_bytes,
+            )
+        return report
+
+    def _stored_live_bytes(self) -> int:
+        total = 0
+        for record in self.dsdb.query(Query.where(tss_kind=FILE_KIND)):
+            total += record.get("size", 0) * len(live_replicas(record))
+        return total

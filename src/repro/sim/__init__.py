@@ -1,0 +1,56 @@
+"""Calibrated simulation of the paper's performance evaluation.
+
+The paper's numbers come from 2005 hardware (2.8 GHz Pentium 4, Linux
+2.4, 1 Gb/s Ethernet, 250 GB SATA disks, 512 MB RAM per node).  Those
+curves are hardware-bound, so this package reproduces their *shapes* with
+two kinds of model (see DESIGN.md, substitutions table):
+
+- **Protocol stacks** (:mod:`repro.sim.stacks`): closed-form latency and
+  bandwidth models of the unix / parrot / NFS / CFS / DSFS I/O paths,
+  calibrated with the constants in :mod:`repro.sim.params`.  These
+  regenerate Figures 3, 4 and 5 and feed the SP5 workload model.
+- **Discrete-event simulation** (:mod:`repro.sim.engine`,
+  :mod:`repro.sim.cluster`, :mod:`repro.sim.dsfs_sim`): servers with
+  disks, LRU buffer caches and gigabit NICs behind a switch with a finite
+  backplane, driven by clients reading random files.  These regenerate
+  the DSFS scalability study (Figures 6-8).
+- **Control-loop simulation** (:mod:`repro.sim.gems_sim`): the *real*
+  GEMS planning policy running against simulated storage and failures,
+  regenerating the Figure 9 preservation timeline.
+"""
+
+from repro.sim.engine import Environment, Resource, Process, Timeout
+from repro.sim.params import SimParams, PAPER_PARAMS
+from repro.sim.stacks import (
+    IOStack,
+    UnixStack,
+    ParrotLocalStack,
+    NfsStack,
+    CfsStack,
+    DsfsStack,
+    bandwidth_curve,
+)
+from repro.sim.dsfs_sim import DsfsExperiment, run_scalability_sweep
+from repro.sim.sp5 import SP5Workload, run_sp5_table
+from repro.sim.gems_sim import GemsSimulation
+
+__all__ = [
+    "Environment",
+    "Resource",
+    "Process",
+    "Timeout",
+    "SimParams",
+    "PAPER_PARAMS",
+    "IOStack",
+    "UnixStack",
+    "ParrotLocalStack",
+    "NfsStack",
+    "CfsStack",
+    "DsfsStack",
+    "bandwidth_curve",
+    "DsfsExperiment",
+    "run_scalability_sweep",
+    "SP5Workload",
+    "run_sp5_table",
+    "GemsSimulation",
+]

@@ -1,0 +1,201 @@
+"""A small discrete-event simulation engine (SimPy-flavored).
+
+Processes are generators that ``yield`` events; the environment resumes a
+process when its awaited event fires.  Three event kinds cover everything
+the cluster models need:
+
+- :class:`Timeout` -- fires after a simulated delay,
+- :class:`Resource` requests -- FIFO admission with finite capacity
+  (NIC ports, switch backplanes, disks),
+- :class:`Process` itself -- a process is an event that fires when the
+  generator returns, so processes can ``yield`` other processes to join
+  them.
+
+The engine is deterministic: ties in time are broken by scheduling order.
+No wall-clock time or randomness enters here; stochastic workloads pass
+their own seeded RNGs.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable, Generator, Optional
+
+__all__ = ["Environment", "Event", "Timeout", "Process", "Resource"]
+
+
+class Event:
+    """Something that will happen; processes wait on these."""
+
+    __slots__ = ("env", "_callbacks", "triggered", "value")
+
+    def __init__(self, env: "Environment"):
+        self.env = env
+        self._callbacks: list[Callable[["Event"], None]] = []
+        self.triggered = False
+        self.value = None
+
+    def succeed(self, value=None) -> "Event":
+        if self.triggered:
+            raise RuntimeError("event already triggered")
+        self.triggered = True
+        self.value = value
+        self.env._ready.append(self)
+        return self
+
+    def add_callback(self, fn: Callable[["Event"], None]) -> None:
+        self._callbacks.append(fn)
+
+
+class Timeout(Event):
+    """An event that fires ``delay`` simulated seconds from creation."""
+
+    __slots__ = ()
+
+    def __init__(self, env: "Environment", delay: float, value=None):
+        if delay < 0:
+            raise ValueError("negative timeout")
+        super().__init__(env)
+        env._schedule(self, delay, value)
+
+
+class Process(Event):
+    """A running generator; also an event that fires at generator exit."""
+
+    __slots__ = ("_gen",)
+
+    def __init__(self, env: "Environment", gen: Generator):
+        super().__init__(env)
+        self._gen = gen
+        # Bootstrap: resume once at the current time.
+        bootstrap = Event(env)
+        bootstrap.add_callback(self._resume)
+        bootstrap.succeed()
+
+    def _resume(self, trigger: Event) -> None:
+        try:
+            target = self._gen.send(trigger.value)
+        except StopIteration as stop:
+            self.succeed(stop.value)
+            return
+        if not isinstance(target, Event):
+            raise TypeError(
+                f"process yielded {type(target).__name__}, expected an Event"
+            )
+        if target.triggered:
+            # Already fired: resume on the next dispatch round.
+            relay = Event(self.env)
+            relay.add_callback(self._resume)
+            relay.succeed(target.value)
+        else:
+            target.add_callback(self._resume)
+
+
+class _Request(Event):
+    """A pending acquisition of one capacity unit of a Resource."""
+
+    __slots__ = ("resource",)
+
+    def __init__(self, env: "Environment", resource: "Resource"):
+        super().__init__(env)
+        self.resource = resource
+
+
+class Resource:
+    """FIFO resource with integer capacity (a queueing station).
+
+    Usage inside a process::
+
+        req = resource.request()
+        yield req
+        yield env.timeout(service_time)
+        resource.release()
+    """
+
+    def __init__(self, env: "Environment", capacity: int = 1):
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.env = env
+        self.capacity = capacity
+        self.in_use = 0
+        self._waiting: list[_Request] = []
+        #: cumulative busy integral, for utilization reporting
+        self._busy_units = 0.0
+        self._last_change = 0.0
+
+    def _account(self) -> None:
+        now = self.env.now
+        self._busy_units += self.in_use * (now - self._last_change)
+        self._last_change = now
+
+    def request(self) -> _Request:
+        req = _Request(self.env, self)
+        self._account()
+        if self.in_use < self.capacity:
+            self.in_use += 1
+            req.succeed()
+        else:
+            self._waiting.append(req)
+        return req
+
+    def release(self) -> None:
+        self._account()
+        if self._waiting:
+            nxt = self._waiting.pop(0)
+            nxt.succeed()  # capacity passes directly to the next waiter
+        else:
+            if self.in_use <= 0:
+                raise RuntimeError("release without matching request")
+            self.in_use -= 1
+
+    def utilization(self) -> float:
+        """Mean busy fraction of total capacity since t=0."""
+        self._account()
+        if self.env.now == 0:
+            return 0.0
+        return self._busy_units / (self.env.now * self.capacity)
+
+
+class Environment:
+    """The event loop: a clock and a priority queue of events."""
+
+    def __init__(self):
+        self.now = 0.0
+        self._queue: list[tuple[float, int, Event, object]] = []
+        self._ready: list[Event] = []
+        self._seq = 0
+
+    def _schedule(self, event: Event, delay: float, value=None) -> None:
+        self._seq += 1
+        heapq.heappush(self._queue, (self.now + delay, self._seq, event, value))
+
+    def timeout(self, delay: float, value=None) -> Timeout:
+        return Timeout(self, delay, value)
+
+    def event(self) -> Event:
+        return Event(self)
+
+    def process(self, gen: Generator) -> Process:
+        return Process(self, gen)
+
+    def run(self, until: Optional[float] = None) -> None:
+        """Dispatch events until the queue drains or ``until`` is reached."""
+        while True:
+            # Drain immediately-ready events (succeed() at current time).
+            while self._ready:
+                event = self._ready.pop(0)
+                callbacks, event._callbacks = event._callbacks, []
+                for fn in callbacks:
+                    fn(event)
+            if not self._queue:
+                return
+            when, _seq, event, value = self._queue[0]
+            if until is not None and when > until:
+                self.now = until
+                return
+            heapq.heappop(self._queue)
+            self.now = when
+            if not event.triggered:
+                event.triggered = True
+                event.value = value
+                self._ready.append(event)

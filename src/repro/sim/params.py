@@ -1,0 +1,92 @@
+"""Calibration constants for the performance models.
+
+Every constant is pinned to a number the paper states or implies; the
+benches assert *shapes*, so moderate miscalibration cannot silently pass
+as reproduction.  Paper anchors:
+
+- Figure 3: "2.8 GHz Pentium 4 running Linux 2.4.21"; "most system calls
+  are slowed by an order of magnitude" by the Parrot trap.
+- Figure 4: network I/O latency "outweigh[s] the latency of Parrot itself
+  by another order of magnitude"; DSFS metadata ops are ~2x CFS.
+- Figure 5: Unix local copy peaks at 798 MB/s, Parrot local at 431 MB/s,
+  Parrot+CFS uses 80 MB/s of the 128 MB/s (1 Gb/s) link, Unix+NFS gets
+  10 MB/s "due to the request-response nature of the protocol".
+- Figures 6-8: one server saturates a port "at just over 100 MB/s"; the
+  commodity switch backplane saturates at 300 MB/s; nodes have "a 250 GB
+  SATA disk, 512 MB RAM"; a single disk-bound server sustains 10 MB/s.
+- Section 8: the WAN link is "(roughly) 100 Mbps capacity"; the WAN node
+  has "a slightly faster processor".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["SimParams", "PAPER_PARAMS", "MB", "GB"]
+
+MB = 1_000_000
+GB = 1_000_000_000
+
+
+@dataclass(frozen=True)
+class SimParams:
+    """All tunables for the latency/bandwidth models, in seconds/bytes."""
+
+    # -- host syscall costs (Figure 3 baseline) -----------------------------
+    syscall_getpid: float = 0.4e-6
+    syscall_stat: float = 2.0e-6
+    syscall_open_close: float = 5.0e-6
+    syscall_rw_base: float = 1.5e-6  # fixed cost of read/write, excl. copy
+
+    #: one kernel<->user copy during local read/write: 798 MB/s peak in
+    #: Figure 5 implies ~1/(798 MB/s) per byte on top of the fixed cost.
+    local_copy_bw: float = 798 * MB
+
+    # -- the Parrot trap (Figure 3) ---------------------------------------
+    #: extra context switches per trapped call ("slowed by an order of
+    #: magnitude": ~5 us native open/close -> tens of us under Parrot).
+    parrot_trap_overhead: float = 25.0e-6
+    #: the adapter's extra data copy: 431 MB/s combined peak in Figure 5
+    #: implies an added copy at ~1/431 - 1/798 ~= 1/938 MB/s per byte.
+    parrot_copy_bw: float = 938 * MB
+
+    # -- LAN (Figures 4-8) ------------------------------------------------
+    lan_rtt: float = 110.0e-6  # gigabit + commodity switch round trip
+    #: server-side request handling (parse, dispatch, kernel I/O)
+    server_op_overhead: float = 40.0e-6
+    #: achievable streaming rate for the user-level CFS data path
+    cfs_stream_bw: float = 80 * MB
+    #: practical TCP ceiling of one 1 Gb/s port (Figure 6: "just over
+    #: 100 MB/s")
+    port_bw: float = 100 * MB
+    #: commodity switch backplane ceiling (Figure 6: 300 MB/s)
+    backplane_bw: float = 300 * MB
+
+    # -- NFS protocol model (Figures 4, 5) ----------------------------------
+    nfs_block: int = 4096  # "4KB RPC packets"
+    #: per-RPC server overhead; 10 MB/s at 4 KB/RPC means ~410 us per RPC,
+    #: of which ~110 us is the RTT.
+    nfs_rpc_overhead: float = 300.0e-6
+    #: extra lookup RPCs to resolve a name (one per path component)
+    nfs_path_depth: int = 2
+
+    # -- DSFS (Figures 4, 6-8) ---------------------------------------------
+    #: metadata ops read the stub as well as the data file: ~2x latency.
+    dsfs_stub_rpcs: int = 1  # extra round trips on metadata operations
+
+    # -- storage nodes (Figures 6-8) ----------------------------------------
+    disk_bw: float = 10 * MB  # effective rate for large randomly-read files
+    disk_seek: float = 8.0e-3  # per-file positioning cost
+    server_ram: int = 512 * MB
+    #: RAM usable as buffer cache (kernel + server overheads excluded);
+    #: chosen so 1280 MB over 2 servers misses but over 3 servers fits
+    #: (Figure 7's crossover at 3 servers).
+    cache_bytes: int = 448 * MB
+
+    # -- WAN (section 8) -------------------------------------------------
+    wan_rtt: float = 30e-3
+    wan_bw: float = 12 * MB  # "(roughly) 100 Mbps"
+
+
+#: The calibration used by every benchmark.
+PAPER_PARAMS = SimParams()

@@ -1,0 +1,114 @@
+"""The SP5 high-energy-physics workload model (section 8 table).
+
+SP5 is "a collection of scripts, executables, and dynamic libraries"
+whose "configuration and output data are stored using a commercial I/O
+library whose data are protected by a lock server."  We cannot run BaBar
+software, so this models the I/O profile the paper's measurements imply
+(see EXPERIMENTS.md for the calibration argument):
+
+- Initialization streams a large working set (libraries, configuration,
+  conditions data) off the *home storage server*, whose disk under random
+  access is the common bottleneck (~4 MB/s) for every remote
+  configuration -- which is why LAN/NFS and LAN/TSS land within 1% of
+  each other in the paper despite very different protocols.  Locally the
+  same data comes off a warm, faster disk image.
+- Each remote file also costs a burst of protocol round trips (open,
+  attribute checks, lock-server traffic).  Negligible on the LAN,
+  these dominate the WAN *surcharge* (6275 s vs 4505 s).
+- Per-event processing is compute plus a fixed output volume written
+  through the same path.  The WAN node's "slightly faster processor"
+  (paper's note on grid heterogeneity) is modeled explicitly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.sim.params import MB, GB, PAPER_PARAMS, SimParams
+
+__all__ = ["SP5Workload", "SP5Result", "run_sp5_table", "SP5_CONFIGS"]
+
+SP5_CONFIGS = ("unix", "lan-nfs", "lan-tss", "wan-tss")
+
+
+@dataclass(frozen=True)
+class SP5Result:
+    config: str
+    init_time: float
+    time_per_event: float
+
+
+@dataclass
+class SP5Workload:
+    """The calibrated SP5 I/O profile."""
+
+    #: initialization working set: files streamed from home storage
+    init_files: int = 4000
+    init_bytes: int = 16 * GB
+    #: protocol round trips per file (open, close, stats, lock traffic)
+    rtts_per_file: int = 15
+    #: the home storage server's disk under this random access pattern
+    server_disk_rate: float = 4.1 * MB
+    #: the same image on a warm local disk (the paper's Unix baseline)
+    local_disk_rate: float = 36 * MB
+    #: per-event computation on the LAN-era CPU...
+    event_compute: float = 60.0
+    #: ...and on the WAN site's "slightly faster processor"
+    event_compute_wan: float = 40.0
+    #: simulation output written per event
+    event_bytes: int = 200 * MB
+    #: protocol round trips per event (output open/locks)
+    rtts_per_event: int = 20
+    params: SimParams = field(default_factory=lambda: PAPER_PARAMS)
+
+    # -- per-configuration ingredients -------------------------------------
+
+    def _rtt(self, config: str) -> float:
+        p = self.params
+        if config == "unix":
+            return 2 * p.syscall_open_close  # no network at all
+        if config in ("lan-nfs", "lan-tss"):
+            return p.lan_rtt + p.server_op_overhead
+        if config == "wan-tss":
+            return p.wan_rtt + p.server_op_overhead
+        raise ValueError(f"unknown SP5 configuration {config!r}")
+
+    def _data_rate(self, config: str) -> float:
+        """Sustained data rate: min(network path, home server's disk)."""
+        p = self.params
+        if config == "unix":
+            return self.local_disk_rate
+        if config == "lan-nfs":
+            # 4 KB request-response tops out near 10 MB/s; the server
+            # disk at ~4 MB/s is still the binding constraint.
+            nfs_net = p.nfs_block / (p.lan_rtt + p.nfs_rpc_overhead)
+            return min(nfs_net, self.server_disk_rate)
+        if config == "lan-tss":
+            return min(p.cfs_stream_bw, self.server_disk_rate)
+        if config == "wan-tss":
+            return min(p.wan_bw, self.server_disk_rate)
+        raise ValueError(f"unknown SP5 configuration {config!r}")
+
+    # -- the table ------------------------------------------------------
+
+    def init_time(self, config: str) -> float:
+        data = self.init_bytes / self._data_rate(config)
+        protocol = self.init_files * self.rtts_per_file * self._rtt(config)
+        return data + protocol
+
+    def time_per_event(self, config: str) -> float:
+        compute = (
+            self.event_compute_wan if config == "wan-tss" else self.event_compute
+        )
+        data = self.event_bytes / self._data_rate(config)
+        protocol = self.rtts_per_event * self._rtt(config)
+        return compute + data + protocol
+
+    def result(self, config: str) -> SP5Result:
+        return SP5Result(config, self.init_time(config), self.time_per_event(config))
+
+
+def run_sp5_table(workload: SP5Workload | None = None) -> list[SP5Result]:
+    """Regenerate the section 8 table, one row per configuration."""
+    wl = workload or SP5Workload()
+    return [wl.result(c) for c in SP5_CONFIGS]

@@ -1,0 +1,268 @@
+"""Closed-form I/O path models for Figures 3, 4 and 5.
+
+Each :class:`IOStack` answers "how long does one call take through this
+path?" for the calls the paper measures -- ``getpid``, ``stat``,
+``open``+``close``, and reads/writes of a given size.  Composition mirrors
+the real paths:
+
+========================  ==============================================
+:class:`UnixStack`        application -> kernel -> local filesystem
+:class:`ParrotLocalStack` + the ptrace trap and the adapter's extra copy
+:class:`NfsStack`         kernel NFS client over the LAN: per-component
+                          LOOKUPs, 4 KB request-response RPCs
+:class:`CfsStack`         Parrot + Chirp over the LAN: one round trip per
+                          call, streaming data on the same connection
+:class:`DsfsStack`        CFS + one extra round trip on metadata calls to
+                          read the stub file
+========================  ==============================================
+
+:func:`bandwidth_curve` turns per-call times into the Figure 5 sweep
+(copy 16 MB at a given application block size).
+"""
+
+from __future__ import annotations
+
+import math
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+from repro.sim.params import MB, PAPER_PARAMS, SimParams
+
+__all__ = [
+    "IOStack",
+    "UnixStack",
+    "ParrotLocalStack",
+    "NfsStack",
+    "CfsStack",
+    "DsfsStack",
+    "WanCfsStack",
+    "bandwidth_curve",
+    "SYSCALL_NAMES",
+]
+
+#: the calls shown in Figures 3 and 4
+SYSCALL_NAMES = ("getpid", "stat", "open_close", "read_8k", "write_8k")
+
+
+class IOStack(ABC):
+    """Latency model of one I/O path."""
+
+    name: str = "stack"
+
+    def __init__(self, params: SimParams = PAPER_PARAMS):
+        self.p = params
+
+    @abstractmethod
+    def op_getpid(self) -> float: ...
+
+    @abstractmethod
+    def op_stat(self) -> float: ...
+
+    @abstractmethod
+    def op_open_close(self) -> float: ...
+
+    @abstractmethod
+    def op_read(self, nbytes: int) -> float: ...
+
+    @abstractmethod
+    def op_write(self, nbytes: int) -> float: ...
+
+    def op(self, name: str) -> float:
+        """Latency of a named Figure 3/4 call."""
+        if name == "getpid":
+            return self.op_getpid()
+        if name == "stat":
+            return self.op_stat()
+        if name == "open_close":
+            return self.op_open_close()
+        if name == "read_8k":
+            return self.op_read(8192)
+        if name == "write_8k":
+            return self.op_write(8192)
+        raise ValueError(f"unknown call {name!r}")
+
+
+class UnixStack(IOStack):
+    """Unmodified local system calls (the Figure 3 baseline)."""
+
+    name = "unix"
+
+    def op_getpid(self) -> float:
+        return self.p.syscall_getpid
+
+    def op_stat(self) -> float:
+        return self.p.syscall_stat
+
+    def op_open_close(self) -> float:
+        return self.p.syscall_open_close
+
+    def op_read(self, nbytes: int) -> float:
+        return self.p.syscall_rw_base + nbytes / self.p.local_copy_bw
+
+    op_write = op_read
+
+
+class ParrotLocalStack(UnixStack):
+    """The same local calls trapped by the adapter.
+
+    Every call pays the trap's context switches; data calls additionally
+    pay one extra copy between kernel, adapter, and application.
+    """
+
+    name = "parrot"
+
+    def op_getpid(self) -> float:
+        return super().op_getpid() + self.p.parrot_trap_overhead
+
+    def op_stat(self) -> float:
+        return super().op_stat() + self.p.parrot_trap_overhead
+
+    def op_open_close(self) -> float:
+        return super().op_open_close() + self.p.parrot_trap_overhead
+
+    def op_read(self, nbytes: int) -> float:
+        return (
+            super().op_read(nbytes)
+            + self.p.parrot_trap_overhead
+            + nbytes / self.p.parrot_copy_bw
+        )
+
+    op_write = op_read
+
+
+@dataclass(frozen=True)
+class _Rpc:
+    """One request-response exchange on the LAN."""
+
+    rtt: float
+    server: float
+    payload_time: float = 0.0
+
+    @property
+    def time(self) -> float:
+        return self.rtt + self.server + self.payload_time
+
+
+class NfsStack(IOStack):
+    """Kernel NFS client over the LAN, caching disabled.
+
+    Names resolve with one LOOKUP RPC per path component; data moves in
+    fixed 4 KB RPCs in strict request-response rhythm -- "the low
+    bandwidth is due to the protocol, not due to the target disk."
+    """
+
+    name = "nfs"
+
+    def _rpc(self, payload: int = 0) -> float:
+        return _Rpc(
+            self.p.lan_rtt, self.p.nfs_rpc_overhead, payload / self.p.port_bw
+        ).time
+
+    def op_getpid(self) -> float:
+        return self.p.syscall_getpid  # getpid never leaves the host
+
+    def op_stat(self) -> float:
+        lookups = self.p.nfs_path_depth
+        return self.p.syscall_stat + lookups * self._rpc() + self._rpc()
+
+    def op_open_close(self) -> float:
+        # LOOKUP per component + GETATTR at open; close is local.
+        return (
+            self.p.syscall_open_close
+            + self.p.nfs_path_depth * self._rpc()
+            + self._rpc()
+        )
+
+    def op_read(self, nbytes: int) -> float:
+        blocks = max(1, math.ceil(nbytes / self.p.nfs_block))
+        per_block = self._rpc(min(nbytes, self.p.nfs_block))
+        return self.p.syscall_rw_base + blocks * per_block
+
+    op_write = op_read
+
+
+class CfsStack(IOStack):
+    """Parrot + Chirp to a single file server (the TSS data path).
+
+    Every call is exactly one round trip on the shared TCP connection;
+    reads and writes stream their payload at the user-level achievable
+    rate ("variable sized messages over TCP instead of 4KB RPC packets").
+    """
+
+    name = "cfs"
+
+    def _rpc(self) -> float:
+        return self.p.lan_rtt + self.p.server_op_overhead
+
+    def _trap(self) -> float:
+        return self.p.parrot_trap_overhead
+
+    def op_getpid(self) -> float:
+        return self.p.syscall_getpid + self._trap()
+
+    def op_stat(self) -> float:
+        return self._trap() + self._rpc()
+
+    def op_open_close(self) -> float:
+        return self._trap() * 2 + self._rpc() * 2  # open RPC + close RPC
+
+    def op_read(self, nbytes: int) -> float:
+        return self._trap() + self._rpc() + nbytes / self.p.cfs_stream_bw
+
+    op_write = op_read
+
+
+class DsfsStack(CfsStack):
+    """CFS plus stub indirection.
+
+    "DSFS has slower stat and open calls because stub file lookups
+    require multiple round trips" -- metadata calls first fetch the stub
+    from the directory server, then operate on the data server.  Reads
+    and writes on an open file are identical to CFS.
+    """
+
+    name = "dsfs"
+
+    def op_stat(self) -> float:
+        return super().op_stat() + self.p.dsfs_stub_rpcs * self._rpc()
+
+    def op_open_close(self) -> float:
+        return super().op_open_close() + self.p.dsfs_stub_rpcs * self._rpc()
+
+
+class WanCfsStack(CfsStack):
+    """CFS over the wide-area link of section 8 (~100 Mb/s, high RTT)."""
+
+    name = "wan-cfs"
+
+    def _rpc(self) -> float:
+        return self.p.wan_rtt + self.p.server_op_overhead
+
+    def op_read(self, nbytes: int) -> float:
+        return self._trap() + self._rpc() + nbytes / self.p.wan_bw
+
+    op_write = op_read
+
+
+def bandwidth_curve(
+    stack: IOStack,
+    block_sizes: list[int],
+    total_bytes: int = 16 * MB,
+    direction: str = "write",
+) -> dict[int, float]:
+    """Figure 5: copy ``total_bytes`` at each block size; returns MB/s.
+
+    The copy performs one open/close pair plus ``total/block`` data calls,
+    exactly like the paper's microbenchmark.
+    """
+    op = stack.op_write if direction == "write" else stack.op_read
+    out = {}
+    for block in block_sizes:
+        if block < 1:
+            raise ValueError("block size must be positive")
+        full, remainder = divmod(total_bytes, block)
+        elapsed = stack.op_open_close() + full * op(block)
+        if remainder:
+            elapsed += op(remainder)
+        out[block] = (total_bytes / elapsed) / MB
+    return out

@@ -1,0 +1,41 @@
+"""Shared low-level utilities for the Tactical Storage System reproduction.
+
+This package contains the pieces every other layer leans on:
+
+- :mod:`repro.util.errors` -- the error model shared by client, server, and
+  wire protocol (Chirp-style negative status codes mapped to/from ``errno``).
+- :mod:`repro.util.wire` -- the line-oriented wire codec used by the Chirp
+  protocol and the catalog/database servers.
+- :mod:`repro.util.paths` -- software "chroot": safe confinement of request
+  paths inside a server's exported root directory.
+- :mod:`repro.util.checksum` -- streaming file checksums used by the GEMS
+  auditor to verify replica integrity.
+- :mod:`repro.util.clock` -- a small clock abstraction so control loops
+  (e.g. the GEMS auditor/replicator) run identically on wall-clock time and
+  on the discrete-event simulator's virtual time.
+"""
+
+from repro.util.errors import (
+    ChirpError,
+    StatusCode,
+    error_from_status,
+    status_from_exception,
+)
+from repro.util.paths import PathEscapeError, confine, normalize_virtual
+from repro.util.checksum import file_checksum, data_checksum
+from repro.util.clock import Clock, MonotonicClock, ManualClock
+
+__all__ = [
+    "ChirpError",
+    "StatusCode",
+    "error_from_status",
+    "status_from_exception",
+    "PathEscapeError",
+    "confine",
+    "normalize_virtual",
+    "file_checksum",
+    "data_checksum",
+    "Clock",
+    "MonotonicClock",
+    "ManualClock",
+]

@@ -1,0 +1,34 @@
+"""Streaming checksums used by the GEMS auditor to verify replicas."""
+
+from __future__ import annotations
+
+import hashlib
+from typing import BinaryIO
+
+__all__ = ["data_checksum", "file_checksum", "stream_checksum"]
+
+_ALGORITHM = "sha1"  # matches the vintage of the paper; stable and fast
+
+
+def data_checksum(data: bytes) -> str:
+    """Checksum of an in-memory byte string (hex digest)."""
+    h = hashlib.new(_ALGORITHM)
+    h.update(data)
+    return h.hexdigest()
+
+
+def stream_checksum(fobj: BinaryIO, chunk_size: int = 1 << 20) -> str:
+    """Checksum a readable binary stream without loading it in memory."""
+    h = hashlib.new(_ALGORITHM)
+    while True:
+        chunk = fobj.read(chunk_size)
+        if not chunk:
+            break
+        h.update(chunk)
+    return h.hexdigest()
+
+
+def file_checksum(path: str, chunk_size: int = 1 << 20) -> str:
+    """Checksum a file on the local filesystem."""
+    with open(path, "rb") as f:
+        return stream_checksum(f, chunk_size)

@@ -1,0 +1,79 @@
+"""Clock abstraction so control loops run on real or virtual time.
+
+The GEMS auditor/replicator and the catalog's TTL expiry are time-driven
+control loops.  Writing them against this tiny interface lets the same
+logic run under pytest (with a :class:`ManualClock` stepped explicitly),
+in production (with :class:`MonotonicClock`), and inside the discrete-event
+simulator (which adapts its virtual clock to this interface).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Protocol, runtime_checkable
+
+__all__ = ["Clock", "MonotonicClock", "ManualClock"]
+
+
+@runtime_checkable
+class Clock(Protocol):
+    """Minimal clock interface: read the time, sleep for a duration."""
+
+    def now(self) -> float:
+        """Current time in seconds (monotonic within one clock)."""
+        ...
+
+    def sleep(self, seconds: float) -> None:
+        """Block the caller for ``seconds`` of this clock's time."""
+        ...
+
+
+class MonotonicClock:
+    """Wall-clock implementation backed by :func:`time.monotonic`."""
+
+    def now(self) -> float:
+        return time.monotonic()
+
+    def sleep(self, seconds: float) -> None:
+        if seconds > 0:
+            time.sleep(seconds)
+
+
+class ManualClock:
+    """A clock advanced explicitly by the test harness.
+
+    ``sleep`` advances the clock rather than blocking, so time-driven loops
+    can be driven deterministically.  Thread-safe: concurrent sleepers are
+    woken when :meth:`advance` moves time past their deadline.
+    """
+
+    def __init__(self, start: float = 0.0):
+        self._now = float(start)
+        self._cond = threading.Condition()
+
+    def now(self) -> float:
+        with self._cond:
+            return self._now
+
+    def sleep(self, seconds: float) -> None:
+        if seconds <= 0:
+            return
+        with self._cond:
+            deadline = self._now + seconds
+            while self._now < deadline:
+                # Single-threaded callers advance their own clock;
+                # multi-threaded callers wait for another thread to advance.
+                if not self._cond.wait(timeout=0.001):
+                    # No one advanced us: behave as the sole owner of time.
+                    self._now = deadline
+                    self._cond.notify_all()
+                    return
+
+    def advance(self, seconds: float) -> None:
+        """Move time forward, waking any sleepers whose deadline passed."""
+        if seconds < 0:
+            raise ValueError("cannot move time backwards")
+        with self._cond:
+            self._now += seconds
+            self._cond.notify_all()

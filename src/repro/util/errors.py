@@ -1,0 +1,289 @@
+"""Error model shared by the Chirp client, server, and wire protocol.
+
+The Chirp protocol reports failures as small negative integers on the wire,
+in the style of the original cctools implementation.  Locally those map to
+a :class:`ChirpError` exception hierarchy, and at the server they are
+produced from ordinary :class:`OSError` values raised by the host
+filesystem.  Keeping the mapping in one module guarantees the client sees
+the same error class regardless of whether the failure happened in the
+server's access-control check or deep in the host kernel.
+"""
+
+from __future__ import annotations
+
+import errno
+from enum import IntEnum
+
+__all__ = [
+    "StatusCode",
+    "ChirpError",
+    "NotAuthenticatedError",
+    "NotAuthorizedError",
+    "DoesNotExistError",
+    "AlreadyExistsError",
+    "TooBigError",
+    "NoSpaceError",
+    "InvalidRequestError",
+    "TooManyOpenError",
+    "BusyError",
+    "TryAgainError",
+    "BadFileDescriptorError",
+    "IsADirectoryError_",
+    "NotADirectoryError_",
+    "NotEmptyError",
+    "CrossDeviceLinkError",
+    "DisconnectedError",
+    "TimedOutError",
+    "StaleHandleError",
+    "UnknownError",
+    "status_from_exception",
+    "error_from_status",
+]
+
+
+class StatusCode(IntEnum):
+    """Negative wire status codes, one per failure class.
+
+    A non-negative wire status is a successful result value (for example a
+    file descriptor from ``open`` or a byte count from ``pread``), so all
+    failure codes are strictly negative.
+    """
+
+    NOT_AUTHENTICATED = -1
+    NOT_AUTHORIZED = -2
+    DOESNT_EXIST = -3
+    ALREADY_EXISTS = -4
+    TOO_BIG = -5
+    NO_SPACE = -6
+    NO_MEMORY = -7
+    INVALID_REQUEST = -8
+    TOO_MANY_OPEN = -9
+    BUSY = -10
+    TRY_AGAIN = -11
+    BAD_FD = -12
+    IS_DIR = -13
+    NOT_DIR = -14
+    NOT_EMPTY = -15
+    CROSS_DEVICE_LINK = -16
+    DISCONNECTED = -17
+    TIMED_OUT = -18
+    STALE = -19
+    UNKNOWN = -127
+
+
+class ChirpError(Exception):
+    """Base class for every protocol-visible failure.
+
+    :ivar status: the :class:`StatusCode` carried on the wire.
+    """
+
+    status: StatusCode = StatusCode.UNKNOWN
+
+    def __init__(self, message: str = ""):
+        super().__init__(message or self.status.name)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}({self.status.name}: {self})"
+
+
+class NotAuthenticatedError(ChirpError):
+    status = StatusCode.NOT_AUTHENTICATED
+
+
+class NotAuthorizedError(ChirpError):
+    status = StatusCode.NOT_AUTHORIZED
+
+
+class DoesNotExistError(ChirpError):
+    status = StatusCode.DOESNT_EXIST
+
+
+class AlreadyExistsError(ChirpError):
+    status = StatusCode.ALREADY_EXISTS
+
+
+class TooBigError(ChirpError):
+    status = StatusCode.TOO_BIG
+
+
+class NoSpaceError(ChirpError):
+    status = StatusCode.NO_SPACE
+
+
+class NoMemoryError(ChirpError):
+    status = StatusCode.NO_MEMORY
+
+
+class InvalidRequestError(ChirpError):
+    status = StatusCode.INVALID_REQUEST
+
+
+class TooManyOpenError(ChirpError):
+    status = StatusCode.TOO_MANY_OPEN
+
+
+class BusyError(ChirpError):
+    status = StatusCode.BUSY
+
+
+class TryAgainError(ChirpError):
+    status = StatusCode.TRY_AGAIN
+
+
+class BadFileDescriptorError(ChirpError):
+    status = StatusCode.BAD_FD
+
+
+class IsADirectoryError_(ChirpError):
+    status = StatusCode.IS_DIR
+
+
+class NotADirectoryError_(ChirpError):
+    status = StatusCode.NOT_DIR
+
+
+class NotEmptyError(ChirpError):
+    status = StatusCode.NOT_EMPTY
+
+
+class CrossDeviceLinkError(ChirpError):
+    status = StatusCode.CROSS_DEVICE_LINK
+
+
+class DisconnectedError(ChirpError):
+    """The TCP connection to the server was lost.
+
+    Raised locally by the client; never carried on the wire.  Per the
+    paper's failure semantics, the server frees all state (open files) on
+    disconnect, so recovery is the adapter's job (reconnect, re-open,
+    verify inode).
+    """
+
+    status = StatusCode.DISCONNECTED
+
+
+class TimedOutError(ChirpError):
+    status = StatusCode.TIMED_OUT
+
+
+class StaleHandleError(ChirpError):
+    """The file changed identity across a reconnect (renamed or deleted).
+
+    This mirrors the NFS "stale file handle" behaviour the paper adopts:
+    after reconnecting, the adapter ``stat``\\ s the re-opened file, and if
+    the inode differs the original handle is declared stale.
+    """
+
+    status = StatusCode.STALE
+
+
+class UnknownError(ChirpError):
+    status = StatusCode.UNKNOWN
+
+
+_ERRNO_TO_STATUS = {
+    errno.ENOENT: StatusCode.DOESNT_EXIST,
+    errno.EEXIST: StatusCode.ALREADY_EXISTS,
+    errno.EACCES: StatusCode.NOT_AUTHORIZED,
+    errno.EPERM: StatusCode.NOT_AUTHORIZED,
+    errno.EFBIG: StatusCode.TOO_BIG,
+    errno.ENOSPC: StatusCode.NO_SPACE,
+    errno.EDQUOT: StatusCode.NO_SPACE,
+    errno.ENOMEM: StatusCode.NO_MEMORY,
+    errno.EINVAL: StatusCode.INVALID_REQUEST,
+    errno.EMFILE: StatusCode.TOO_MANY_OPEN,
+    errno.ENFILE: StatusCode.TOO_MANY_OPEN,
+    errno.EBUSY: StatusCode.BUSY,
+    errno.EAGAIN: StatusCode.TRY_AGAIN,
+    errno.EBADF: StatusCode.BAD_FD,
+    errno.EISDIR: StatusCode.IS_DIR,
+    errno.ENOTDIR: StatusCode.NOT_DIR,
+    errno.ENOTEMPTY: StatusCode.NOT_EMPTY,
+    errno.EXDEV: StatusCode.CROSS_DEVICE_LINK,
+    errno.ETIMEDOUT: StatusCode.TIMED_OUT,
+    errno.ESTALE: StatusCode.STALE,
+    errno.ENAMETOOLONG: StatusCode.INVALID_REQUEST,
+    errno.ELOOP: StatusCode.INVALID_REQUEST,
+}
+
+_STATUS_TO_ERROR: dict[int, type[ChirpError]] = {
+    StatusCode.NOT_AUTHENTICATED: NotAuthenticatedError,
+    StatusCode.NOT_AUTHORIZED: NotAuthorizedError,
+    StatusCode.DOESNT_EXIST: DoesNotExistError,
+    StatusCode.ALREADY_EXISTS: AlreadyExistsError,
+    StatusCode.TOO_BIG: TooBigError,
+    StatusCode.NO_SPACE: NoSpaceError,
+    StatusCode.NO_MEMORY: NoMemoryError,
+    StatusCode.INVALID_REQUEST: InvalidRequestError,
+    StatusCode.TOO_MANY_OPEN: TooManyOpenError,
+    StatusCode.BUSY: BusyError,
+    StatusCode.TRY_AGAIN: TryAgainError,
+    StatusCode.BAD_FD: BadFileDescriptorError,
+    StatusCode.IS_DIR: IsADirectoryError_,
+    StatusCode.NOT_DIR: NotADirectoryError_,
+    StatusCode.NOT_EMPTY: NotEmptyError,
+    StatusCode.CROSS_DEVICE_LINK: CrossDeviceLinkError,
+    StatusCode.DISCONNECTED: DisconnectedError,
+    StatusCode.TIMED_OUT: TimedOutError,
+    StatusCode.STALE: StaleHandleError,
+    StatusCode.UNKNOWN: UnknownError,
+}
+
+_STATUS_TO_ERRNO = {
+    StatusCode.NOT_AUTHENTICATED: errno.EACCES,
+    StatusCode.NOT_AUTHORIZED: errno.EACCES,
+    StatusCode.DOESNT_EXIST: errno.ENOENT,
+    StatusCode.ALREADY_EXISTS: errno.EEXIST,
+    StatusCode.TOO_BIG: errno.EFBIG,
+    StatusCode.NO_SPACE: errno.ENOSPC,
+    StatusCode.NO_MEMORY: errno.ENOMEM,
+    StatusCode.INVALID_REQUEST: errno.EINVAL,
+    StatusCode.TOO_MANY_OPEN: errno.EMFILE,
+    StatusCode.BUSY: errno.EBUSY,
+    StatusCode.TRY_AGAIN: errno.EAGAIN,
+    StatusCode.BAD_FD: errno.EBADF,
+    StatusCode.IS_DIR: errno.EISDIR,
+    StatusCode.NOT_DIR: errno.ENOTDIR,
+    StatusCode.NOT_EMPTY: errno.ENOTEMPTY,
+    StatusCode.CROSS_DEVICE_LINK: errno.EXDEV,
+    StatusCode.DISCONNECTED: errno.EIO,
+    StatusCode.TIMED_OUT: errno.ETIMEDOUT,
+    StatusCode.STALE: errno.ESTALE,
+    StatusCode.UNKNOWN: errno.EIO,
+}
+
+
+def status_from_exception(exc: BaseException) -> StatusCode:
+    """Map a local exception to the wire status the server should send."""
+    if isinstance(exc, ChirpError):
+        return exc.status
+    if isinstance(exc, OSError) and exc.errno is not None:
+        return _ERRNO_TO_STATUS.get(exc.errno, StatusCode.UNKNOWN)
+    return StatusCode.UNKNOWN
+
+
+def error_from_status(status: int, message: str = "") -> ChirpError:
+    """Construct the :class:`ChirpError` subclass for a wire status code."""
+    try:
+        code = StatusCode(status)
+    except ValueError:
+        return UnknownError(message or f"unknown status {status}")
+    cls = _STATUS_TO_ERROR.get(code, UnknownError)
+    return cls(message)
+
+
+def oserror_from_status(status: int, message: str = "", path: str | None = None) -> OSError:
+    """Construct an :class:`OSError` for POSIX-surface callers (the adapter).
+
+    The adapter re-implements the Unix syscall surface, so errors that cross
+    it must look like the kernel's: ``OSError`` with a correct ``errno``.
+    """
+    try:
+        code = StatusCode(status)
+    except ValueError:
+        code = StatusCode.UNKNOWN
+    num = _STATUS_TO_ERRNO.get(code, errno.EIO)
+    err = OSError(num, message or code.name)
+    if path is not None:
+        err.filename = path
+    return err

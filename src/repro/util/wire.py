@@ -1,0 +1,217 @@
+"""Line-oriented wire codec shared by the Chirp, catalog, and DB protocols.
+
+The Chirp protocol is deliberately simple: each request is one text line of
+space-separated tokens terminated by ``\\n``, optionally followed by a
+binary payload of a length stated in the line.  Responses are a status line
+(an integer, negative on failure) optionally followed by payload.  Control
+and data share a single TCP connection so the congestion window stays open
+across files -- the property the paper contrasts with FTP's separate data
+connections.
+
+Tokens that may contain spaces or newlines (paths, subject names) are
+percent-escaped with :func:`encode_token` / :func:`decode_token`.
+"""
+
+from __future__ import annotations
+
+import socket
+from typing import Iterable
+
+from repro.util.errors import DisconnectedError, InvalidRequestError
+
+__all__ = [
+    "encode_token",
+    "decode_token",
+    "pack_line",
+    "unpack_line",
+    "LineStream",
+    "MAX_LINE",
+]
+
+MAX_LINE = 64 * 1024  # longest request/response line we will accept
+_SAFE = set(
+    "abcdefghijklmnopqrstuvwxyz"
+    "ABCDEFGHIJKLMNOPQRSTUVWXYZ"
+    "0123456789"
+    "-_.~/:@+=,*()[]{}!$&'#^|"
+)
+
+
+def encode_token(token: str) -> str:
+    """Percent-escape a token so it survives space-separated framing.
+
+    The empty string encodes to ``%``, so every token occupies at least one
+    character on the wire and splitting on spaces round-trips.
+    """
+    if token == "":
+        return "%"
+    out = []
+    for ch in token:
+        if ch in _SAFE:
+            out.append(ch)
+        else:
+            out.extend(f"%{b:02X}" for b in ch.encode("utf-8"))
+    return "".join(out)
+
+
+def decode_token(token: str) -> str:
+    """Invert :func:`encode_token`."""
+    if token == "%":
+        return ""
+    raw = bytearray()
+    i = 0
+    n = len(token)
+    while i < n:
+        ch = token[i]
+        if ch == "%":
+            if i + 3 > n:
+                raise InvalidRequestError(f"truncated escape in token: {token!r}")
+            try:
+                raw.append(int(token[i + 1 : i + 3], 16))
+            except ValueError as exc:
+                raise InvalidRequestError(f"bad escape in token: {token!r}") from exc
+            i += 3
+        else:
+            raw.extend(ch.encode("utf-8"))
+            i += 1
+    try:
+        return raw.decode("utf-8")
+    except UnicodeDecodeError as exc:
+        raise InvalidRequestError(f"token is not valid UTF-8: {token!r}") from exc
+
+
+def pack_line(*tokens: object) -> bytes:
+    """Build one wire line from tokens.
+
+    Integers are rendered in decimal; strings are percent-escaped.
+    """
+    parts = []
+    for tok in tokens:
+        if isinstance(tok, bool):
+            parts.append("1" if tok else "0")
+        elif isinstance(tok, int):
+            parts.append(str(tok))
+        elif isinstance(tok, str):
+            parts.append(encode_token(tok))
+        else:
+            raise TypeError(f"cannot encode token of type {type(tok).__name__}")
+    line = " ".join(parts)
+    data = line.encode("ascii") + b"\n"
+    if len(data) > MAX_LINE:
+        raise InvalidRequestError("wire line too long")
+    return data
+
+
+def unpack_line(line: bytes) -> list[str]:
+    """Split a raw wire line into decoded tokens."""
+    text = line.decode("ascii", errors="strict").rstrip("\r\n")
+    if not text:
+        return []
+    return [decode_token(t) for t in text.split(" ") if t]
+
+
+class LineStream:
+    """Buffered reader/writer over a connected socket.
+
+    Provides exactly the primitives the protocols need: read one line, read
+    an exact byte count, write bytes.  A closed or reset peer surfaces as
+    :class:`DisconnectedError` so callers never see raw socket errors.
+    """
+
+    def __init__(self, sock: socket.socket):
+        self._sock = sock
+        self._buf = bytearray()
+        self._closed = False
+
+    @property
+    def socket(self) -> socket.socket:
+        return self._sock
+
+    def read_line(self, max_len: int = MAX_LINE) -> bytes:
+        """Read up to and including the next ``\\n``; raise on EOF."""
+        while True:
+            idx = self._buf.find(b"\n")
+            if idx >= 0:
+                line = bytes(self._buf[: idx + 1])
+                del self._buf[: idx + 1]
+                return line
+            if len(self._buf) > max_len:
+                raise InvalidRequestError("line exceeds maximum length")
+            chunk = self._recv(65536)
+            if not chunk:
+                raise DisconnectedError("connection closed while reading line")
+            self._buf.extend(chunk)
+
+    def read_tokens(self) -> list[str]:
+        """Read one line and split it into decoded tokens."""
+        return unpack_line(self.read_line())
+
+    def read_exact(self, length: int) -> bytes:
+        """Read exactly ``length`` payload bytes."""
+        if length < 0:
+            raise InvalidRequestError(f"negative payload length {length}")
+        while len(self._buf) < length:
+            want = min(1 << 20, max(65536, length - len(self._buf)))
+            chunk = self._recv(want)
+            if not chunk:
+                raise DisconnectedError("connection closed mid-payload")
+            self._buf.extend(chunk)
+        data = bytes(self._buf[:length])
+        del self._buf[:length]
+        return data
+
+    def read_into_file(self, fobj, length: int, chunk_size: int = 1 << 20) -> None:
+        """Stream ``length`` payload bytes directly into a file object.
+
+        Used by ``putfile`` so large uploads never materialize in memory --
+        the streaming discipline the HPC guides call for on hot paths.
+        """
+        remaining = length
+        if self._buf:
+            take = min(len(self._buf), remaining)
+            fobj.write(bytes(self._buf[:take]))
+            del self._buf[:take]
+            remaining -= take
+        while remaining > 0:
+            chunk = self._recv(min(chunk_size, remaining))
+            if not chunk:
+                raise DisconnectedError("connection closed mid-payload")
+            fobj.write(chunk)
+            remaining -= len(chunk)
+
+    def write(self, data: bytes) -> None:
+        try:
+            self._sock.sendall(data)
+        except (BrokenPipeError, ConnectionError, OSError) as exc:
+            self._closed = True
+            raise DisconnectedError(f"send failed: {exc}") from exc
+
+    def write_line(self, *tokens: object) -> None:
+        self.write(pack_line(*tokens))
+
+    def write_from_file(self, fobj, length: int, chunk_size: int = 1 << 20) -> None:
+        """Stream ``length`` bytes from a file object to the peer."""
+        remaining = length
+        while remaining > 0:
+            chunk = fobj.read(min(chunk_size, remaining))
+            if not chunk:
+                raise DisconnectedError("source file truncated during send")
+            self.write(chunk)
+            remaining -= len(chunk)
+
+    def _recv(self, n: int) -> bytes:
+        if self._closed:
+            raise DisconnectedError("stream already closed")
+        try:
+            return self._sock.recv(n)
+        except (ConnectionError, OSError) as exc:
+            self._closed = True
+            raise DisconnectedError(f"recv failed: {exc}") from exc
+
+    def close(self) -> None:
+        if not self._closed:
+            self._closed = True
+            try:
+                self._sock.close()
+            except OSError:
+                pass

@@ -1,0 +1,106 @@
+"""Integration tests: the NFS-like baseline server.
+
+The baseline must be *semantically* correct (so comparisons are fair) and
+must exhibit the protocol structure the paper blames for NFS's numbers:
+per-component lookups and fixed-size request-response blocks.
+"""
+
+import pytest
+
+from repro.baselines.nfslike import NFS_BLOCK_SIZE, NfsLikeClient, NfsLikeServer
+from repro.util import errors as E
+
+
+@pytest.fixture()
+def nfs(tmp_path):
+    root = tmp_path / "export"
+    root.mkdir()
+    with NfsLikeServer(str(root)) as server:
+        client = NfsLikeClient(*server.address)
+        yield client, server, root
+        client.close()
+
+
+class TestSemantics:
+    def test_write_read_roundtrip(self, nfs):
+        client, _, _ = nfs
+        blob = bytes(range(256)) * 100
+        client.write_file("/f.bin", blob)
+        assert client.read_file("/f.bin") == blob
+
+    def test_nested_paths(self, nfs):
+        client, _, _ = nfs
+        client.mkdir("/a")
+        client.mkdir("/a/b")
+        client.write_file("/a/b/deep.txt", b"deep")
+        assert client.read_file("/a/b/deep.txt") == b"deep"
+        assert client.getattr("/a/b/deep.txt").size == 4
+
+    def test_readdir(self, nfs):
+        client, _, _ = nfs
+        client.write_file("/one", b"1")
+        client.write_file("/two", b"2")
+        assert client.readdir("/") == ["one", "two"]
+
+    def test_remove_and_rmdir(self, nfs):
+        client, _, _ = nfs
+        client.mkdir("/d")
+        client.write_file("/d/f", b"1")
+        client.remove("/d/f")
+        client.rmdir("/d")
+        assert client.readdir("/") == []
+
+    def test_rename(self, nfs):
+        client, _, _ = nfs
+        client.mkdir("/dst")
+        client.write_file("/f", b"1")
+        client.rename("/f", "/dst/g")
+        assert client.read_file("/dst/g") == b"1"
+
+    def test_lookup_missing_is_enoent(self, nfs):
+        client, _, _ = nfs
+        with pytest.raises(E.DoesNotExistError):
+            client.getattr("/missing")
+
+    def test_stale_handle_after_remove(self, nfs):
+        client, _, _ = nfs
+        client.write_file("/f", b"1")
+        fh = client.lookup("/f")
+        client.remove("/f")
+        with pytest.raises((E.StaleHandleError, E.DoesNotExistError)):
+            client.read_block(fh, 0)
+
+    def test_export_confinement(self, nfs):
+        client, _, root = nfs
+        client.write_file("/../escape", b"x")  # lexically clamped
+        assert (root / "escape").exists()
+
+
+class TestProtocolShape:
+    def test_read_block_is_capped(self, nfs):
+        client, _, _ = nfs
+        client.write_file("/big", b"z" * (3 * NFS_BLOCK_SIZE))
+        fh = client.lookup("/big")
+        data = client.read_block(fh, 0, count=10 * NFS_BLOCK_SIZE)
+        assert len(data) == NFS_BLOCK_SIZE  # server enforces the cap
+
+    def test_oversized_write_block_rejected(self, nfs):
+        client, _, _ = nfs
+        fh = client.create("/f")
+        with pytest.raises(E.InvalidRequestError):
+            client.write_block(fh, 0, b"x" * (NFS_BLOCK_SIZE + 1))
+
+    def test_whole_file_transfer_uses_many_blocks(self, nfs):
+        """10 blocks of data must arrive bit-exact through 4 KB RPCs."""
+        client, _, _ = nfs
+        blob = bytes(range(256)) * (10 * NFS_BLOCK_SIZE // 256)
+        client.write_file("/blocks", blob)
+        assert client.read_file("/blocks") == blob
+
+    def test_handles_are_stable_across_connections(self, nfs, tmp_path):
+        client, server, _ = nfs
+        client.write_file("/f", b"persistent")
+        fh = client.lookup("/f")
+        second = NfsLikeClient(*server.address)
+        assert second.read_block(fh, 0) == b"persistent"  # stateless server
+        second.close()

@@ -1,0 +1,172 @@
+"""Robustness: hostile and malformed input must never take a server down.
+
+A TSS file server is exposed to "the world at large" by design, so the
+protocol loop has to shrug off garbage: random bytes, torn requests,
+wrong argument counts, huge lines, abrupt disconnects mid-payload.
+"""
+
+import socket
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.chirp.client import ChirpClient
+from repro.util import errors as E
+from repro.util.wire import LineStream
+
+
+def raw_connect(server):
+    sock = socket.create_connection(server.address, timeout=5)
+    sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+    return sock
+
+
+def server_is_healthy(server, credentials) -> bool:
+    c = ChirpClient(*server.address, credentials=credentials)
+    try:
+        return c.whoami().startswith(("unix:", "hostname:"))
+    finally:
+        c.close()
+
+
+class TestHostileClients:
+    def test_random_garbage_preauth(self, file_server, credentials):
+        for payload in (b"\x00" * 100, b"GET / HTTP/1.1\r\n\r\n", b"\xff\xfe" * 50):
+            sock = raw_connect(file_server)
+            sock.sendall(payload)
+            sock.close()
+        assert server_is_healthy(file_server, credentials)
+
+    def test_disconnect_mid_auth(self, file_server, credentials):
+        sock = raw_connect(file_server)
+        sock.sendall(b"auth unix\n")
+        sock.close()  # vanish during the challenge
+        assert server_is_healthy(file_server, credentials)
+
+    def test_disconnect_mid_putfile_payload(self, file_server, credentials):
+        c = ChirpClient(*file_server.address, credentials=credentials)
+        stream = c._stream
+        stream.write_line("putfile", "/torn", 0o644, 1_000_000)
+        stream.write(b"only a fraction of the promised bytes")
+        c.close()  # abandon mid-payload
+        assert server_is_healthy(file_server, credentials)
+        # the torn file must not have been acknowledged as complete
+        c2 = ChirpClient(*file_server.address, credentials=credentials)
+        if c2.exists("/torn"):
+            assert c2.stat("/torn").size < 1_000_000
+        c2.close()
+
+    def test_wrong_argument_counts(self, file_server, credentials):
+        c = ChirpClient(*file_server.address, credentials=credentials)
+        stream = c._stream
+        for line in (
+            ("open",),
+            ("open", "/x"),
+            ("pread", "1"),
+            ("rename", "/only-one"),
+            ("setacl", "/x"),
+            ("close",),
+        ):
+            stream.write_line(*line)
+            reply = stream.read_tokens()
+            assert int(reply[0]) < 0  # an error status, not a crash
+        assert c.whoami()
+        c.close()
+
+    def test_non_numeric_arguments(self, file_server, credentials):
+        c = ChirpClient(*file_server.address, credentials=credentials)
+        stream = c._stream
+        stream.write_line("pread", "banana", "10", "0")
+        assert int(stream.read_tokens()[0]) < 0
+        stream.write_line("open", "/x", "zzz", "notamode")
+        assert int(stream.read_tokens()[0]) < 0
+        assert c.whoami()
+        c.close()
+
+    def test_oversized_line_rejected(self, file_server, credentials):
+        sock = raw_connect(file_server)
+        try:
+            sock.sendall(b"open /" + b"a" * 200_000 + b" r 420\n")
+        except (BrokenPipeError, ConnectionResetError):
+            pass  # server may cut us off mid-send; that is fine too
+        sock.close()
+        assert server_is_healthy(file_server, credentials)
+
+    @settings(
+        max_examples=25,
+        deadline=None,
+        # the server fixture is deliberately shared across examples: the
+        # property under test is precisely that it survives them all
+        suppress_health_check=[HealthCheck.function_scoped_fixture],
+    )
+    @given(junk=st.binary(min_size=1, max_size=200))
+    def test_fuzz_authenticated_stream(self, junk, file_server, credentials):
+        """Random bytes after auth: errors are fine, death is not."""
+        c = ChirpClient(*file_server.address, credentials=credentials)
+        stream = c._stream
+        try:
+            stream.write(junk + b"\n")
+            stream.socket.settimeout(2)
+            try:
+                stream.read_line()
+            except E.ChirpError:
+                pass
+        except (E.ChirpError, OSError):
+            pass
+        finally:
+            c.close()
+        assert server_is_healthy(file_server, credentials)
+
+
+class TestResourceHygiene:
+    def test_many_sequential_connections(self, file_server, credentials):
+        for _ in range(50):
+            c = ChirpClient(*file_server.address, credentials=credentials)
+            c.putfile("/ping", b"x")
+            c.close()
+        assert server_is_healthy(file_server, credentials)
+
+    def test_abandoned_fds_are_reaped_per_connection(self, file_server, credentials):
+        # open many fds, never close them, drop the connection; repeat.
+        for round_ in range(5):
+            c = ChirpClient(*file_server.address, credentials=credentials)
+            for i in range(20):
+                c.open(f"/leak-{round_}-{i}", "wc")
+            c.close()  # server must reap all 20
+        assert server_is_healthy(file_server, credentials)
+
+    def test_catalog_survives_garbage_datagrams(self):
+        from repro.catalog.server import CatalogServer
+
+        with CatalogServer() as cat:
+            with socket.socket(socket.AF_INET, socket.SOCK_DGRAM) as s:
+                for payload in (b"", b"\x00" * 1000, b"{bad json", b"[1,2,3]"):
+                    s.sendto(payload, cat.address)
+            import time
+
+            time.sleep(0.1)
+            assert cat.entries() == []
+            # and a good report still lands afterwards
+            import json
+
+            assert cat.accept_report(
+                json.dumps(
+                    {"type": "chirp", "name": "s", "owner": "o", "host": "h", "port": 1}
+                ).encode()
+            )
+
+    def test_db_server_survives_garbage(self, tmp_path, auth_context, credentials):
+        from repro.db.client import DatabaseClient
+        from repro.db.engine import MetadataDB
+        from repro.db.server import DatabaseConfig, DatabaseServer
+
+        db = MetadataDB(None)
+        with DatabaseServer(db, DatabaseConfig(auth=auth_context)) as server:
+            c = DatabaseClient(*server.address, credentials=credentials)
+            stream = c._stream
+            for line in (("dbcmd",), ("dbcmd", "{bad"), ("notacmd", "x")):
+                stream.write_line(*line)
+                assert int(stream.read_tokens()[0]) < 0
+            assert c.get("anything") is None  # still alive
+            c.close()

@@ -1,0 +1,103 @@
+"""Property tests: ACL rights algebra."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.auth.acl import Acl, AclEntry, Rights, format_rights, parse_rights
+
+plain_rights = st.frozensets(st.sampled_from("rwlda"), min_size=0, max_size=5)
+reserve_rights = st.frozensets(st.sampled_from("rwlda"), min_size=0, max_size=5)
+
+
+@st.composite
+def rights_objects(draw):
+    flags = set(draw(plain_rights))
+    reserve = frozenset()
+    if draw(st.booleans()):
+        flags.add("v")
+        reserve = draw(reserve_rights)
+    return Rights(frozenset(flags), reserve)
+
+
+subjects = st.sampled_from(
+    [
+        "unix:alice",
+        "unix:bob",
+        "hostname:a.cse.nd.edu",
+        "hostname:b.example.com",
+        "globus:/O=ND/CN=x",
+        "kerberos:x@ND.EDU",
+    ]
+)
+
+patterns = st.sampled_from(
+    [
+        "unix:alice",
+        "unix:*",
+        "hostname:*.cse.nd.edu",
+        "globus:/O=ND/*",
+        "*",
+        "kerberos:*@ND.EDU",
+    ]
+)
+
+
+class TestRightsAlgebra:
+    @given(rights_objects())
+    def test_format_parse_roundtrip(self, rights):
+        assert parse_rights(format_rights(rights)) == rights
+
+    @given(rights_objects(), rights_objects())
+    def test_union_commutative(self, a, b):
+        assert a.union(b) == b.union(a)
+
+    @given(rights_objects(), rights_objects(), rights_objects())
+    def test_union_associative(self, a, b, c):
+        assert a.union(b).union(c) == a.union(b.union(c))
+
+    @given(rights_objects())
+    def test_union_idempotent(self, a):
+        assert a.union(a) == a
+
+    @given(rights_objects(), rights_objects())
+    def test_union_only_grows(self, a, b):
+        u = a.union(b)
+        assert a.flags <= u.flags
+        assert b.flags <= u.flags
+        assert a.reserve <= u.reserve
+
+
+class TestAclProperties:
+    @given(st.lists(st.tuples(patterns, rights_objects()), max_size=6))
+    def test_text_roundtrip(self, entries):
+        acl = Acl([AclEntry(p, r) for p, r in entries if r.flags])
+        again = Acl.from_text(acl.to_text())
+        assert again.to_text() == acl.to_text()
+
+    @given(st.lists(st.tuples(patterns, rights_objects()), max_size=6), subjects)
+    def test_entry_order_never_changes_rights(self, entries, subject):
+        acl_fwd = Acl([AclEntry(p, r) for p, r in entries])
+        acl_rev = Acl([AclEntry(p, r) for p, r in reversed(entries)])
+        assert acl_fwd.rights_for(subject) == acl_rev.rights_for(subject)
+
+    @given(st.lists(st.tuples(patterns, rights_objects()), max_size=6), subjects)
+    def test_adding_entries_never_revokes(self, entries, subject):
+        acl = Acl()
+        previous = Rights()
+        for pattern, rights in entries:
+            acl.entries.append(AclEntry(pattern, rights))
+            current = acl.rights_for(subject)
+            assert previous.flags <= current.flags
+            previous = current
+
+    @given(st.lists(st.tuples(patterns, rights_objects()), max_size=6), subjects)
+    def test_reserved_acl_grants_exactly_the_group(self, entries, subject):
+        acl = Acl([AclEntry(p, r) for p, r in entries])
+        child = acl.reserved_for(subject)
+        granted = child.rights_for(subject)
+        assert granted.flags == acl.reserve_rights_for(subject)
+        assert granted.reserve == frozenset()
+        # and nobody else gets anything
+        for other in ("unix:stranger", "hostname:evil.com"):
+            if other != subject:
+                assert not child.rights_for(other).flags

@@ -1,0 +1,70 @@
+"""Property tests: the software chroot never lets a path escape."""
+
+import os
+
+from hypothesis import given, assume
+from hypothesis import strategies as st
+
+from repro.util.paths import PathEscapeError, confine, normalize_virtual
+
+# Path-ish strings: realistic component names plus traversal attacks.
+component = st.one_of(
+    st.sampled_from(["..", ".", "etc", "passwd", "f.txt", "", "..."]),
+    st.text(
+        alphabet=st.characters(
+            whitelist_categories=("Ll", "Lu", "Nd"), max_codepoint=0x7F
+        ),
+        min_size=1,
+        max_size=12,
+    ),
+)
+
+path_strings = st.lists(component, min_size=0, max_size=8).map(
+    lambda parts: "/" + "/".join(parts)
+)
+
+nasty_strings = st.text(
+    alphabet=st.characters(blacklist_characters="\\\x00", codec="utf-8"),
+    min_size=0,
+    max_size=64,
+)
+
+
+class TestNormalizeVirtual:
+    @given(path_strings)
+    def test_always_absolute_and_normal(self, path):
+        norm = normalize_virtual(path)
+        assert norm.startswith("/")
+        assert ".." not in norm.split("/")
+        assert "//" not in norm or norm == "/"
+
+    @given(path_strings)
+    def test_idempotent(self, path):
+        norm = normalize_virtual(path)
+        assert normalize_virtual(norm) == norm
+
+    @given(nasty_strings)
+    def test_arbitrary_text_is_normalized_or_rejected(self, text):
+        try:
+            norm = normalize_virtual(text)
+        except PathEscapeError:
+            return
+        assert norm.startswith("/")
+        assert ".." not in norm.split("/")
+
+
+class TestConfine:
+    @given(path_strings)
+    def test_result_stays_under_root(self, path):
+        root = os.path.realpath("/tmp")
+        real = confine(root, path, check_symlinks=False)
+        assert real == root or real.startswith(root + os.sep)
+
+    @given(nasty_strings)
+    def test_arbitrary_text_confined_or_rejected(self, text):
+        root = os.path.realpath("/tmp")
+        try:
+            real = confine(root, text, check_symlinks=False)
+        except PathEscapeError:
+            return
+        assert real == root or real.startswith(root + os.sep)

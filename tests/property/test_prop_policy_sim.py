@@ -1,0 +1,144 @@
+"""Property tests: GEMS planning invariants and sim-engine invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gems.policy import BudgetGreedyPolicy, FixedCountPolicy, RecordSummary
+from repro.sim.engine import Environment, Resource
+
+summaries = st.lists(
+    st.builds(
+        RecordSummary,
+        record_id=st.uuids().map(str),
+        size=st.integers(1, 10_000),
+        live_replicas=st.integers(0, 6),
+    ),
+    max_size=20,
+)
+
+
+class TestBudgetGreedyInvariants:
+    @given(summaries, st.integers(1, 10**6), st.integers(1, 8))
+    def test_never_exceeds_budget(self, records, budget, servers):
+        policy = BudgetGreedyPolicy(budget)
+        plan = policy.plan_additions(records, servers)
+        sizes = {r.record_id: r.size for r in records}
+        stored = sum(r.size * r.live_replicas for r in records)
+        planned = sum(sizes[rid] for rid in plan)
+        assert stored + planned <= max(budget, stored)
+
+    @given(summaries, st.integers(1, 10**6), st.integers(1, 8))
+    def test_never_plans_dead_or_saturated_records(self, records, budget, servers):
+        policy = BudgetGreedyPolicy(budget)
+        plan = policy.plan_additions(records, servers)
+        by_id = {r.record_id: r for r in records}
+        from collections import Counter
+
+        for rid, extra in Counter(plan).items():
+            r = by_id[rid]
+            assert r.live_replicas > 0
+            assert r.live_replicas + extra <= servers
+
+    @given(summaries, st.integers(1, 10**6), st.integers(1, 8))
+    def test_plan_is_deterministic(self, records, budget, servers):
+        a = BudgetGreedyPolicy(budget).plan_additions(records, servers)
+        b = BudgetGreedyPolicy(budget).plan_additions(records, servers)
+        assert a == b
+
+    @given(summaries, st.integers(1, 10**6))
+    def test_bigger_budget_never_plans_less(self, records, budget):
+        small = BudgetGreedyPolicy(budget).plan_additions(records, 8)
+        large = BudgetGreedyPolicy(budget * 2).plan_additions(records, 8)
+        assert len(large) >= len(small)
+
+
+class TestFixedCountInvariants:
+    @given(summaries, st.integers(1, 6), st.integers(1, 8))
+    def test_plan_reaches_exact_target(self, records, copies, servers):
+        plan = FixedCountPolicy(copies).plan_additions(records, servers)
+        from collections import Counter
+
+        counts = Counter(plan)
+        target = min(copies, servers)
+        for r in records:
+            if r.live_replicas == 0:
+                assert counts[r.record_id] == 0
+            else:
+                assert r.live_replicas + counts[r.record_id] == max(
+                    target, r.live_replicas
+                )
+
+
+class TestSimEngineInvariants:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(st.floats(0.001, 5.0), st.floats(0.0, 3.0)),
+            min_size=1,
+            max_size=20,
+        ),
+        st.integers(1, 4),
+    )
+    def test_resource_never_oversubscribed(self, jobs, capacity):
+        env = Environment()
+        res = Resource(env, capacity=capacity)
+        live = {"now": 0, "max": 0}
+        done = []
+
+        def worker(delay, service):
+            yield env.timeout(delay)
+            req = res.request()
+            yield req
+            live["now"] += 1
+            live["max"] = max(live["max"], live["now"])
+            yield env.timeout(service)
+            live["now"] -= 1
+            res.release()
+            done.append(env.now)
+
+        for delay, service in jobs:
+            env.process(worker(delay, service))
+        env.run()
+        assert live["max"] <= capacity
+        assert len(done) == len(jobs)
+        assert live["now"] == 0
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.lists(st.floats(0.0, 100.0), min_size=1, max_size=50))
+    def test_time_is_monotone(self, delays):
+        env = Environment()
+        stamps = []
+
+        def waiter(d):
+            yield env.timeout(d)
+            stamps.append(env.now)
+
+        for d in delays:
+            env.process(waiter(d))
+        env.run()
+        assert stamps == sorted(stamps)
+        assert len(stamps) == len(delays)
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(1, 30), st.floats(0.01, 2.0))
+    def test_serial_throughput_is_exact(self, jobs, service):
+        """n jobs through a capacity-1 station take exactly n*service."""
+        env = Environment()
+        res = Resource(env, capacity=1)
+
+        def worker():
+            req = res.request()
+            yield req
+            yield env.timeout(service)
+            res.release()
+
+        for _ in range(jobs):
+            env.process(worker())
+        env.run()
+        assert env.now == pytest_approx(jobs * service)
+
+
+def pytest_approx(value):
+    import pytest
+
+    return pytest.approx(value, rel=1e-9)

@@ -1,0 +1,144 @@
+"""Property tests: the striping layout against a byte-level reference."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.stripefs import map_extent, stripe_sizes_for_length
+
+params = st.tuples(
+    st.integers(1, 6),  # n_stripes
+    st.integers(1, 64),  # stripe_size
+)
+
+
+class ReferenceStripes:
+    """Reference model: store logical bytes by brute-force mapping."""
+
+    def __init__(self, n, size):
+        self.n = n
+        self.size = size
+        self.stripes = [bytearray() for _ in range(n)]
+
+    def _locate(self, logical: int) -> tuple[int, int]:
+        chunk = logical // self.size
+        return chunk % self.n, (chunk // self.n) * self.size + logical % self.size
+
+    def write(self, offset: int, data: bytes) -> None:
+        for i, byte in enumerate(data):
+            stripe, inner = self._locate(offset + i)
+            buf = self.stripes[stripe]
+            if len(buf) < inner + 1:
+                buf.extend(b"\x00" * (inner + 1 - len(buf)))
+            buf[inner] = byte
+
+    def read(self, offset: int, length: int) -> bytes:
+        out = bytearray()
+        for i in range(length):
+            stripe, inner = self._locate(offset + i)
+            buf = self.stripes[stripe]
+            if inner >= len(buf):
+                break
+            out.append(buf[inner])
+        return bytes(out)
+
+
+class TestMapExtent:
+    @given(params, st.integers(0, 500), st.integers(0, 300))
+    def test_pieces_tile_the_extent_exactly(self, p, offset, length):
+        n, size = p
+        pieces = list(map_extent(offset, length, n, size))
+        assert sum(piece for _, _, piece, _ in pieces) == length
+        position = offset
+        for _stripe, _inner, piece, logical in pieces:
+            assert logical == position
+            position += piece
+        assert position == offset + length
+
+    @given(params, st.integers(0, 500), st.integers(1, 300))
+    def test_pieces_never_cross_stripe_chunks(self, p, offset, length):
+        n, size = p
+        for stripe, inner, piece, logical in map_extent(offset, length, n, size):
+            assert 0 <= stripe < n
+            assert piece <= size
+            # a piece stays inside one stripe-size block of its stripe file
+            assert inner // size == (inner + piece - 1) // size
+
+    @given(params, st.integers(0, 2000))
+    def test_mapping_agrees_with_reference(self, p, logical):
+        n, size = p
+        ref = ReferenceStripes(n, size)
+        stripe, inner = ref._locate(logical)
+        pieces = list(map_extent(logical, 1, n, size))
+        assert pieces[0][0] == stripe
+        assert pieces[0][1] == inner
+
+    @given(params)
+    def test_negative_inputs_rejected(self, p):
+        n, size = p
+        import pytest
+
+        with pytest.raises(ValueError):
+            list(map_extent(-1, 5, n, size))
+        with pytest.raises(ValueError):
+            list(map_extent(0, -5, n, size))
+
+
+class TestStripeSizes:
+    @given(params, st.integers(0, 5000))
+    def test_sizes_sum_to_length(self, p, length):
+        n, size = p
+        assert sum(stripe_sizes_for_length(length, n, size)) == length
+
+    @given(params, st.integers(0, 5000))
+    def test_sizes_match_reference(self, p, length):
+        n, size = p
+        ref = ReferenceStripes(n, size)
+        ref.write(0, b"x" * length)
+        assert stripe_sizes_for_length(length, n, size) == [
+            len(buf) for buf in ref.stripes
+        ]
+
+    @given(params, st.integers(0, 5000))
+    def test_sizes_are_balanced(self, p, length):
+        n, size = p
+        sizes = stripe_sizes_for_length(length, n, size)
+        assert max(sizes) - min(sizes) <= size
+
+
+class TestScatterGather:
+    @settings(max_examples=60, deadline=None)
+    @given(
+        params,
+        st.lists(
+            st.tuples(st.integers(0, 400), st.binary(min_size=1, max_size=120)),
+            max_size=8,
+        ),
+    )
+    def test_write_read_matches_flat_file(self, p, writes):
+        """Scatter *dense* writes through the layout, then gather reads:
+        the result must equal a plain flat byte buffer.  (Sparse logical
+        files are a documented striping limitation -- see the module
+        docstring and ``test_sparse_hole_reads_short`` below -- so write
+        offsets are clamped to the current end of file.)"""
+        n, size = p
+        ref = ReferenceStripes(n, size)
+        flat = bytearray()
+        for offset, data in writes:
+            offset = min(offset, len(flat))  # densify
+            if len(flat) < offset + len(data):
+                flat.extend(b"\x00" * (offset + len(data) - len(flat)))
+            flat[offset : offset + len(data)] = data
+            # scatter through map_extent, as StripedHandle.pwrite does
+            for stripe, inner, piece, logical in map_extent(offset, len(data), n, size):
+                start = logical - offset
+                chunk = data[start : start + piece]
+                buf = ref.stripes[stripe]
+                if len(buf) < inner + piece:
+                    buf.extend(b"\x00" * (inner + piece - len(buf)))
+                buf[inner : inner + piece] = chunk
+        # gather the whole logical file back
+        total = len(flat)
+        out = bytearray()
+        for stripe, inner, piece, _ in map_extent(0, total, n, size):
+            out.extend(ref.stripes[stripe][inner : inner + piece])
+        assert bytes(out) == bytes(flat)

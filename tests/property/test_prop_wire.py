@@ -1,0 +1,37 @@
+"""Property tests: the wire codec must round-trip anything."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.util.wire import decode_token, encode_token, pack_line, unpack_line
+
+token_text = st.text(min_size=0, max_size=200)
+
+
+class TestTokenRoundtrip:
+    @given(token_text)
+    def test_roundtrip_any_text(self, text):
+        assert decode_token(encode_token(text)) == text
+
+    @given(token_text)
+    def test_wire_form_is_framing_safe(self, text):
+        wire = encode_token(text)
+        assert " " not in wire
+        assert "\n" not in wire
+        assert "\r" not in wire
+        assert wire  # never empty: empty token encodes as '%'
+        wire.encode("ascii")  # always pure ASCII
+
+    @given(st.lists(token_text, min_size=0, max_size=10))
+    def test_line_roundtrip(self, tokens):
+        assert unpack_line(pack_line(*tokens)) == tokens
+
+    @given(st.lists(st.integers(-(2**62), 2**62), min_size=1, max_size=10))
+    def test_integer_tokens_roundtrip_as_decimal(self, numbers):
+        tokens = unpack_line(pack_line(*numbers))
+        assert [int(t) for t in tokens] == numbers
+
+    @given(token_text, token_text)
+    def test_distinct_tokens_stay_distinct(self, a, b):
+        if a != b:
+            assert encode_token(a) != encode_token(b)

@@ -1,0 +1,215 @@
+"""Unit tests for the four authentication methods (over real sockets)."""
+
+import pytest
+
+from repro.auth.methods import (
+    AuthContext,
+    AuthFailed,
+    ClientCredentials,
+    GlobusCredential,
+    SimulatedCA,
+    SimulatedKDC,
+    authenticate_client,
+    authenticate_server,
+)
+from repro.util.wire import LineStream
+
+from tests.conftest import run_in_thread
+
+
+def handshake(socket_pair, ctx: AuthContext, creds: ClientCredentials):
+    """Run both ends of the handshake; returns (client_subject, server_subject)."""
+    client_sock, server_sock = socket_pair
+    server_stream = LineStream(server_sock)
+    client_stream = LineStream(client_sock)
+    server = run_in_thread(authenticate_server, server_stream, ctx, "127.0.0.1")
+    client_subject = authenticate_client(client_stream, creds)
+    server_subject = server.result()
+    return client_subject, server_subject
+
+
+def failing_handshake(socket_pair, ctx, creds):
+    client_sock, server_sock = socket_pair
+    server_stream = LineStream(server_sock)
+    client_stream = LineStream(client_sock)
+    server = run_in_thread(authenticate_server, server_stream, ctx, "127.0.0.1")
+    with pytest.raises(AuthFailed):
+        authenticate_client(client_stream, creds)
+    with pytest.raises(AuthFailed):
+        server.result()
+
+
+class TestHostname:
+    def test_loopback_resolves_to_localhost(self, socket_pair):
+        ctx = AuthContext(enabled=("hostname",))
+        creds = ClientCredentials(methods=("hostname",))
+        c, s = handshake(socket_pair, ctx, creds)
+        assert c == s == "hostname:localhost"
+
+    def test_custom_resolver(self, socket_pair):
+        ctx = AuthContext(
+            enabled=("hostname",),
+            hostname_resolver=lambda addr: "node5.cse.nd.edu",
+        )
+        creds = ClientCredentials(methods=("hostname",))
+        c, _ = handshake(socket_pair, ctx, creds)
+        assert c == "hostname:node5.cse.nd.edu"
+
+    def test_resolver_refusal_fails(self, socket_pair):
+        ctx = AuthContext(enabled=("hostname",), hostname_resolver=lambda addr: None)
+        creds = ClientCredentials(methods=("hostname",))
+        failing_handshake(socket_pair, ctx, creds)
+
+
+class TestUnix:
+    def test_challenge_response(self, socket_pair, tmp_path):
+        import getpass
+
+        ctx = AuthContext(enabled=("unix",), unix_challenge_dir=str(tmp_path))
+        creds = ClientCredentials(methods=("unix",))
+        c, s = handshake(socket_pair, ctx, creds)
+        assert c == s == f"unix:{getpass.getuser()}"
+
+    def test_challenge_file_is_cleaned_up(self, socket_pair, tmp_path):
+        import os
+
+        ctx = AuthContext(enabled=("unix",), unix_challenge_dir=str(tmp_path))
+        creds = ClientCredentials(methods=("unix",))
+        handshake(socket_pair, ctx, creds)
+        assert os.listdir(str(tmp_path)) == []
+
+    def test_unwritable_challenge_dir_fails(self, socket_pair, tmp_path):
+        missing = str(tmp_path / "does-not-exist")
+        ctx = AuthContext(enabled=("unix",), unix_challenge_dir=missing)
+        creds = ClientCredentials(methods=("unix",))
+        failing_handshake(socket_pair, ctx, creds)
+
+
+class TestGlobus:
+    def test_trusted_ca_succeeds(self, socket_pair):
+        ca = SimulatedCA("NotreDame")
+        cred = ca.issue("/O=NotreDame/CN=alice")
+        ctx = AuthContext(enabled=("globus",), trusted_cas={"NotreDame": ca.secret})
+        creds = ClientCredentials(methods=("globus",), globus=cred)
+        c, s = handshake(socket_pair, ctx, creds)
+        assert c == s == "globus:/O=NotreDame/CN=alice"
+
+    def test_unknown_ca_fails(self, socket_pair):
+        rogue = SimulatedCA("Rogue")
+        cred = rogue.issue("/O=Rogue/CN=mallory")
+        ctx = AuthContext(enabled=("globus",), trusted_cas={})
+        creds = ClientCredentials(methods=("globus",), globus=cred)
+        failing_handshake(socket_pair, ctx, creds)
+
+    def test_forged_signature_fails(self, socket_pair):
+        ca = SimulatedCA("ND")
+        good = ca.issue("/O=ND/CN=alice")
+        forged = GlobusCredential(
+            dn="/O=ND/CN=root", ca_name="ND", signature=good.signature, key=good.key
+        )
+        ctx = AuthContext(enabled=("globus",), trusted_cas={"ND": ca.secret})
+        creds = ClientCredentials(methods=("globus",), globus=forged)
+        failing_handshake(socket_pair, ctx, creds)
+
+    def test_stolen_cert_without_key_fails(self, socket_pair):
+        ca = SimulatedCA("ND")
+        good = ca.issue("/O=ND/CN=alice")
+        stolen = GlobusCredential(
+            dn=good.dn, ca_name=good.ca_name, signature=good.signature, key="wrong"
+        )
+        ctx = AuthContext(enabled=("globus",), trusted_cas={"ND": ca.secret})
+        creds = ClientCredentials(methods=("globus",), globus=stolen)
+        failing_handshake(socket_pair, ctx, creds)
+
+    def test_missing_credential_fails_cleanly(self, socket_pair):
+        ctx = AuthContext(enabled=("globus",), trusted_cas={})
+        creds = ClientCredentials(methods=("globus",), globus=None)
+        failing_handshake(socket_pair, ctx, creds)
+
+
+class TestKerberos:
+    def _setup(self):
+        kdc = SimulatedKDC("ND.EDU")
+        kdc.add_principal("alice", "hunter2")
+        service_key = kdc.register_service("chirp/storage01")
+        return kdc, service_key
+
+    def test_valid_ticket_succeeds(self, socket_pair):
+        kdc, key = self._setup()
+        ticket = kdc.issue_ticket("alice", "hunter2", "chirp/storage01")
+        ctx = AuthContext(enabled=("kerberos",), kerberos_service_key=key)
+        creds = ClientCredentials(methods=("kerberos",), kerberos=ticket)
+        c, s = handshake(socket_pair, ctx, creds)
+        assert c == s == "kerberos:alice@ND.EDU"
+
+    def test_bad_password_rejected_at_kdc(self):
+        kdc, _ = self._setup()
+        with pytest.raises(PermissionError):
+            kdc.issue_ticket("alice", "wrong", "chirp/storage01")
+
+    def test_unknown_service_rejected_at_kdc(self):
+        kdc, _ = self._setup()
+        with pytest.raises(KeyError):
+            kdc.issue_ticket("alice", "hunter2", "chirp/elsewhere")
+
+    def test_expired_ticket_fails(self, socket_pair):
+        kdc, key = self._setup()
+        ticket = kdc.issue_ticket(
+            "alice", "hunter2", "chirp/storage01", lifetime=-10.0
+        )
+        ctx = AuthContext(enabled=("kerberos",), kerberos_service_key=key)
+        creds = ClientCredentials(methods=("kerberos",), kerberos=ticket)
+        failing_handshake(socket_pair, ctx, creds)
+
+    def test_ticket_for_other_service_fails(self, socket_pair):
+        kdc, _ = self._setup()
+        other_key = kdc.register_service("chirp/other")
+        ticket = kdc.issue_ticket("alice", "hunter2", "chirp/storage01")
+        ctx = AuthContext(enabled=("kerberos",), kerberos_service_key=other_key)
+        creds = ClientCredentials(methods=("kerberos",), kerberos=ticket)
+        failing_handshake(socket_pair, ctx, creds)
+
+    def test_tampered_ticket_fails(self, socket_pair):
+        kdc, key = self._setup()
+        ticket = kdc.issue_ticket("alice", "hunter2", "chirp/storage01")
+        from repro.auth.methods import KerberosTicket
+
+        tampered = KerberosTicket(
+            blob=ticket.blob[:-4] + "0000",
+            session_key=ticket.session_key,
+            principal=ticket.principal,
+            expires=ticket.expires,
+        )
+        ctx = AuthContext(enabled=("kerberos",), kerberos_service_key=key)
+        creds = ClientCredentials(methods=("kerberos",), kerberos=tampered)
+        failing_handshake(socket_pair, ctx, creds)
+
+
+class TestMethodNegotiation:
+    def test_client_falls_through_refused_methods(self, socket_pair, tmp_path):
+        ctx = AuthContext(enabled=("unix",), unix_challenge_dir=str(tmp_path))
+        creds = ClientCredentials(methods=("kerberos", "globus", "unix"))
+        c, _ = handshake(socket_pair, ctx, creds)
+        assert c.startswith("unix:")
+
+    def test_client_falls_through_failed_method(self, socket_pair, tmp_path):
+        # globus is enabled but the client has no credential; unix saves it.
+        ctx = AuthContext(
+            enabled=("globus", "unix"),
+            trusted_cas={},
+            unix_challenge_dir=str(tmp_path),
+        )
+        creds = ClientCredentials(methods=("globus", "unix"))
+        c, _ = handshake(socket_pair, ctx, creds)
+        assert c.startswith("unix:")
+
+    def test_all_methods_exhausted(self, socket_pair):
+        ctx = AuthContext(enabled=())
+        creds = ClientCredentials(methods=("unix", "hostname"))
+        failing_handshake(socket_pair, ctx, creds)
+
+    def test_first_success_wins(self, socket_pair, tmp_path):
+        ctx = AuthContext(enabled=("hostname", "unix"), unix_challenge_dir=str(tmp_path))
+        creds = ClientCredentials(methods=("hostname", "unix"))
+        c, _ = handshake(socket_pair, ctx, creds)
+        assert c == "hostname:localhost"

@@ -1,0 +1,79 @@
+"""Unit tests for checksums and the clock abstraction."""
+
+import io
+import threading
+
+from repro.util.checksum import data_checksum, file_checksum, stream_checksum
+from repro.util.clock import ManualClock, MonotonicClock
+
+
+class TestChecksum:
+    def test_data_and_stream_agree(self):
+        payload = b"x" * 1_000_003
+        assert data_checksum(payload) == stream_checksum(io.BytesIO(payload))
+
+    def test_file_checksum(self, tmp_path):
+        p = tmp_path / "f.bin"
+        p.write_bytes(b"abc" * 1000)
+        assert file_checksum(str(p)) == data_checksum(b"abc" * 1000)
+
+    def test_empty_input(self):
+        assert data_checksum(b"") == stream_checksum(io.BytesIO(b""))
+
+    def test_chunk_size_does_not_change_digest(self):
+        payload = bytes(range(256)) * 100
+        a = stream_checksum(io.BytesIO(payload), chunk_size=7)
+        b = stream_checksum(io.BytesIO(payload), chunk_size=65536)
+        assert a == b
+
+    def test_different_data_different_digest(self):
+        assert data_checksum(b"a") != data_checksum(b"b")
+
+
+class TestMonotonicClock:
+    def test_now_advances(self):
+        clock = MonotonicClock()
+        a = clock.now()
+        clock.sleep(0.01)
+        assert clock.now() >= a + 0.009
+
+    def test_negative_sleep_is_noop(self):
+        MonotonicClock().sleep(-1)  # must not raise or block
+
+
+class TestManualClock:
+    def test_sleep_advances_single_threaded(self):
+        clock = ManualClock()
+        clock.sleep(5)
+        assert clock.now() == 5
+
+    def test_advance_moves_time(self):
+        clock = ManualClock(start=100)
+        clock.advance(2.5)
+        assert clock.now() == 102.5
+
+    def test_advance_backwards_rejected(self):
+        clock = ManualClock()
+        try:
+            clock.advance(-1)
+            raise AssertionError("expected ValueError")
+        except ValueError:
+            pass
+
+    def test_zero_sleep_returns_immediately(self):
+        clock = ManualClock()
+        clock.sleep(0)
+        assert clock.now() == 0
+
+    def test_advance_wakes_sleeper_thread(self):
+        clock = ManualClock()
+        woke = threading.Event()
+
+        def sleeper():
+            clock.sleep(10)
+            woke.set()
+
+        t = threading.Thread(target=sleeper, daemon=True)
+        t.start()
+        clock.advance(10)
+        assert woke.wait(2.0)

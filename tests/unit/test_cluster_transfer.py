@@ -1,0 +1,110 @@
+"""Unit tests for the cluster components' transfer mechanics."""
+
+import pytest
+
+from repro.sim.cluster import (
+    ClientNode,
+    SimSwitch,
+    StorageNode,
+    transfer,
+)
+from repro.sim.engine import Environment
+from repro.sim.params import MB, PAPER_PARAMS
+
+
+@pytest.fixture()
+def rig():
+    env = Environment()
+    switch = SimSwitch(env, PAPER_PARAMS)
+    server = StorageNode(env, PAPER_PARAMS, "s0")
+    client = ClientNode(env, PAPER_PARAMS, "c0")
+    return env, switch, server, client
+
+
+class TestTransfer:
+    def test_delivers_exact_byte_count(self, rig):
+        env, switch, server, client = rig
+        env.process(transfer(env, server, client, switch, 3 * MB + 17))
+        env.run()
+        assert client.bytes_received == 3 * MB + 17
+
+    def test_on_bytes_callback_sees_every_chunk(self, rig):
+        env, switch, server, client = rig
+        seen = []
+        env.process(
+            transfer(env, server, client, switch, MB, on_bytes=seen.append)
+        )
+        env.run()
+        assert sum(seen) == MB
+
+    def test_single_stream_below_port_rate(self, rig):
+        """One sequential-stage stream cannot reach full port speed (the
+        documented model property); aggregate saturation is what the
+        experiments measure."""
+        env, switch, server, client = rig
+        size = 10 * MB
+        env.process(transfer(env, server, client, switch, size))
+        env.run()
+        rate = size / env.now
+        assert rate < PAPER_PARAMS.port_bw
+        assert rate > 0.3 * PAPER_PARAMS.port_bw
+
+    def test_concurrent_streams_saturate_the_port(self, rig):
+        env, switch, server, client = rig
+        size = 5 * MB
+        clients = [ClientNode(env, PAPER_PARAMS, f"c{i}") for i in range(6)]
+        for c in clients:
+            env.process(transfer(env, server, c, switch, size))
+        env.run()
+        aggregate = 6 * size / env.now
+        assert aggregate == pytest.approx(PAPER_PARAMS.port_bw, rel=0.1)
+
+    def test_many_servers_hit_backplane_cap(self):
+        env = Environment()
+        switch = SimSwitch(env, PAPER_PARAMS)
+        servers = [StorageNode(env, PAPER_PARAMS, f"s{i}") for i in range(6)]
+        clients = [ClientNode(env, PAPER_PARAMS, f"c{i}") for i in range(12)]
+        size = 4 * MB
+        for i, c in enumerate(clients):
+            # all data cached: isolate the network stations
+            servers[i % 6].cache.access(f"f{i}", size)
+            env.process(transfer(env, servers[i % 6], c, switch, size))
+        env.run()
+        aggregate = 12 * size / env.now
+        assert aggregate == pytest.approx(PAPER_PARAMS.backplane_bw, rel=0.12)
+
+
+class TestStorageNodeFetch:
+    def test_miss_charges_the_disk(self, rig):
+        env, _switch, server, _client = rig
+
+        def proc():
+            yield from server.fetch("file1", 2 * MB)
+
+        env.process(proc())
+        env.run()
+        expected = PAPER_PARAMS.disk_seek + 2 * MB / PAPER_PARAMS.disk_bw
+        assert env.now == pytest.approx(expected)
+
+    def test_hit_is_free(self, rig):
+        env, _switch, server, _client = rig
+        server.cache.access("file1", 2 * MB)
+
+        def proc():
+            yield from server.fetch("file1", 2 * MB)
+
+        env.process(proc())
+        env.run()
+        assert env.now == 0.0
+
+    def test_disk_serializes_requests(self, rig):
+        env, _switch, server, _client = rig
+
+        def proc(name):
+            yield from server.fetch(name, MB)
+
+        env.process(proc("a"))
+        env.process(proc("b"))
+        env.run()
+        one = PAPER_PARAMS.disk_seek + MB / PAPER_PARAMS.disk_bw
+        assert env.now == pytest.approx(2 * one)

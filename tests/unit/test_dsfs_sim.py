@@ -1,0 +1,122 @@
+"""Unit tests for the DSFS scalability experiment and GEMS simulation."""
+
+import pytest
+
+from repro.gems.policy import FixedCountPolicy
+from repro.sim.dsfs_sim import DsfsExperiment
+from repro.sim.gems_sim import GemsSimulation
+from repro.sim.params import MB, GB
+
+
+class TestDsfsExperiment:
+    def test_result_fields(self):
+        r = DsfsExperiment(
+            n_servers=2, n_files=16, file_bytes=MB, duration=5, warmup=2
+        ).run()
+        assert r.n_servers == 2
+        assert r.bytes_delivered > 0
+        assert r.throughput_mb_s == r.bytes_delivered / r.duration / MB
+        assert 0 <= r.cache_hit_rate <= 1
+
+    def test_deterministic_under_seed(self):
+        kwargs = dict(n_servers=2, n_files=16, file_bytes=MB, duration=5, warmup=2)
+        a = DsfsExperiment(seed=1, **kwargs).run()
+        b = DsfsExperiment(seed=1, **kwargs).run()
+        assert a.bytes_delivered == b.bytes_delivered
+
+    def test_more_clients_saturate_harder(self):
+        kwargs = dict(n_servers=1, n_files=16, file_bytes=MB, duration=5, warmup=2)
+        few = DsfsExperiment(n_clients=1, **kwargs).run()
+        many = DsfsExperiment(n_clients=8, **kwargs).run()
+        assert many.throughput_mb_s > few.throughput_mb_s
+
+    def test_cached_single_server_near_port_speed(self):
+        r = DsfsExperiment(
+            n_servers=1, n_files=16, file_bytes=MB, duration=10, warmup=5
+        ).run()
+        assert 80 <= r.throughput_mb_s <= 105
+
+    def test_uncachable_workload_is_disk_bound(self):
+        r = DsfsExperiment(
+            n_servers=1, n_files=200, file_bytes=10 * MB, duration=20, warmup=10
+        ).run()
+        assert r.throughput_mb_s < 25
+        assert r.cache_hit_rate < 0.5
+
+
+class TestGemsSimulation:
+    def small(self, **overrides):
+        kwargs = dict(
+            n_files=20,
+            file_bytes=100 * MB,
+            budget_bytes=5 * GB,
+            n_servers=10,
+            failures=((600.0, 2),),
+            duration=1800.0,
+            audit_interval=60.0,
+        )
+        kwargs.update(overrides)
+        return GemsSimulation(**kwargs)
+
+    def test_fills_budget(self):
+        sim = self.small()
+        sim.run()
+        peak = max(p.stored_bytes for p in sim.timeline)
+        assert 0.95 * 5 * GB <= peak <= 5 * GB
+
+    def test_budget_never_exceeded(self):
+        sim = self.small()
+        sim.run()
+        assert all(p.stored_bytes <= 5 * GB for p in sim.timeline)
+
+    def test_failure_dips_and_recovers(self):
+        sim = self.small()
+        sim.run()
+        before = sim.value_at(590)
+        dip = sim.min_after(600, window=120)
+        after = sim.value_at(1700)
+        assert dip < before
+        assert after >= 0.95 * before
+
+    def test_audit_lag_is_visible(self):
+        """Between a failure and the next audit, the DB still *believes*
+        the lost replicas exist -- the paper's discovery delay."""
+        # audits land at t=10, 310, 610, 910...; failing at 620 leaves a
+        # ~290 s window in which belief and reality diverge
+        sim = self.small(audit_interval=300.0, failures=((620.0, 2),))
+        sim.run()
+        just_after = next(p for p in sim.timeline if p.time == 630.0)
+        assert just_after.believed_bytes > just_after.stored_bytes
+
+    def test_replication_rate_paces_growth(self):
+        fast = self.small(replication_rate=100 * MB, failures=())
+        slow = self.small(replication_rate=5 * MB, failures=())
+        fast.run()
+        slow.run()
+        t_fast = next(p.time for p in fast.timeline if p.stored_bytes >= 4 * GB)
+        t_slow = next(
+            (p.time for p in slow.timeline if p.stored_bytes >= 4 * GB),
+            float("inf"),
+        )
+        assert t_fast < t_slow
+
+    def test_custom_policy_is_used(self):
+        sim = self.small(policy=FixedCountPolicy(2), failures=())
+        sim.run()
+        # 20 files x 2 copies x 100 MB = 4 GB exactly, under the budget
+        assert sim.timeline[-1].stored_bytes == 20 * 2 * 100 * MB
+
+    def test_deterministic(self):
+        a = self.small(seed=5)
+        b = self.small(seed=5)
+        a.run()
+        b.run()
+        assert [p.stored_bytes for p in a.timeline] == [
+            p.stored_bytes for p in b.timeline
+        ]
+
+    def test_stored_series_units(self):
+        sim = self.small()
+        sim.run()
+        series = sim.stored_series_gb()
+        assert series[0][1] == pytest.approx(2.0)  # 20 x 100 MB ingested

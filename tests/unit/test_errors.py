@@ -1,0 +1,84 @@
+"""Unit tests for the error model (wire status <-> exceptions <-> errno)."""
+
+import errno
+
+import pytest
+
+from repro.util import errors as E
+
+
+class TestStatusFromException:
+    def test_chirp_error_maps_to_its_status(self):
+        assert E.status_from_exception(E.DoesNotExistError("x")) == E.StatusCode.DOESNT_EXIST
+
+    @pytest.mark.parametrize(
+        "num,expected",
+        [
+            (errno.ENOENT, E.StatusCode.DOESNT_EXIST),
+            (errno.EEXIST, E.StatusCode.ALREADY_EXISTS),
+            (errno.EACCES, E.StatusCode.NOT_AUTHORIZED),
+            (errno.EISDIR, E.StatusCode.IS_DIR),
+            (errno.ENOTEMPTY, E.StatusCode.NOT_EMPTY),
+            (errno.ENOSPC, E.StatusCode.NO_SPACE),
+            (errno.ESTALE, E.StatusCode.STALE),
+        ],
+    )
+    def test_oserror_mapping(self, num, expected):
+        assert E.status_from_exception(OSError(num, "x")) == expected
+
+    def test_unknown_errno_maps_to_unknown(self):
+        assert E.status_from_exception(OSError(12345, "x")) == E.StatusCode.UNKNOWN
+
+    def test_non_os_exception_maps_to_unknown(self):
+        assert E.status_from_exception(RuntimeError("boom")) == E.StatusCode.UNKNOWN
+
+
+class TestErrorFromStatus:
+    def test_every_status_code_constructs_an_error(self):
+        for code in E.StatusCode:
+            err = E.error_from_status(int(code), "msg")
+            assert isinstance(err, E.ChirpError)
+            assert err.status == code
+
+    def test_unknown_wire_status_is_tolerated(self):
+        err = E.error_from_status(-9999, "weird")
+        assert isinstance(err, E.UnknownError)
+
+    def test_message_is_preserved(self):
+        err = E.error_from_status(int(E.StatusCode.DOESNT_EXIST), "/a/b missing")
+        assert "/a/b missing" in str(err)
+
+    def test_roundtrip_status_exception_status(self):
+        for code in E.StatusCode:
+            err = E.error_from_status(int(code))
+            assert E.status_from_exception(err) == code
+
+
+class TestOsErrorFromStatus:
+    @pytest.mark.parametrize(
+        "code,num",
+        [
+            (E.StatusCode.DOESNT_EXIST, errno.ENOENT),
+            (E.StatusCode.NOT_AUTHORIZED, errno.EACCES),
+            (E.StatusCode.ALREADY_EXISTS, errno.EEXIST),
+            (E.StatusCode.STALE, errno.ESTALE),
+            (E.StatusCode.DISCONNECTED, errno.EIO),
+            (E.StatusCode.IS_DIR, errno.EISDIR),
+        ],
+    )
+    def test_errno_mapping(self, code, num):
+        err = E.oserror_from_status(int(code), "m", "/p")
+        assert err.errno == num
+        assert err.filename == "/p"
+
+    def test_enoent_produces_file_not_found(self):
+        err = E.oserror_from_status(int(E.StatusCode.DOESNT_EXIST))
+        assert isinstance(err, FileNotFoundError)
+
+    def test_eexist_produces_file_exists(self):
+        err = E.oserror_from_status(int(E.StatusCode.ALREADY_EXISTS))
+        assert isinstance(err, FileExistsError)
+
+    def test_eacces_produces_permission_error(self):
+        err = E.oserror_from_status(int(E.StatusCode.NOT_AUTHORIZED))
+        assert isinstance(err, PermissionError)

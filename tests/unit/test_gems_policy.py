@@ -1,0 +1,138 @@
+"""Unit tests for GEMS replication planning."""
+
+import pytest
+
+from repro.gems.policy import (
+    BudgetGreedyPolicy,
+    FixedCountPolicy,
+    RecordSummary,
+    plan_drops,
+)
+
+
+def summaries(*specs):
+    """specs: (id, size, live)"""
+    return [RecordSummary(rid, size, live) for rid, size, live in specs]
+
+
+class TestBudgetGreedy:
+    def test_replicates_up_to_budget(self):
+        policy = BudgetGreedyPolicy(300)
+        s = summaries(("a", 100, 1), ("b", 100, 1))
+        plan = policy.plan_additions(s, max_servers=10)
+        # 200 stored, budget 300 -> exactly one more copy fits
+        assert len(plan) == 1
+
+    def test_budget_exactly_filled(self):
+        policy = BudgetGreedyPolicy(400)
+        s = summaries(("a", 100, 1), ("b", 100, 1))
+        plan = policy.plan_additions(s, max_servers=10)
+        assert len(plan) == 2
+
+    def test_never_exceeds_budget(self):
+        policy = BudgetGreedyPolicy(1000)
+        s = summaries(*[(f"r{i}", 130, 1) for i in range(5)])
+        plan = policy.plan_additions(s, max_servers=10)
+        stored = 5 * 130 + len(plan) * 130
+        assert stored <= 1000
+
+    def test_least_replicated_first(self):
+        policy = BudgetGreedyPolicy(10_000)
+        s = summaries(("lonely", 100, 1), ("cozy", 100, 3))
+        plan = policy.plan_additions(s, max_servers=4)
+        assert plan[0] == "lonely"
+
+    def test_balanced_sweeps(self):
+        """One copy per record per sweep: no record hogs the budget."""
+        policy = BudgetGreedyPolicy(100 * 6)
+        s = summaries(("a", 100, 1), ("b", 100, 1))
+        plan = policy.plan_additions(s, max_servers=10)
+        # budget allows 4 additions; they must alternate a,b,a,b not a,a,a,b
+        assert plan[:2] in (["a", "b"], ["b", "a"])
+        assert sorted(plan) == ["a", "a", "b", "b"]
+
+    def test_dead_records_never_planned(self):
+        policy = BudgetGreedyPolicy(10_000)
+        s = summaries(("dead", 100, 0), ("alive", 100, 1))
+        plan = policy.plan_additions(s, max_servers=10)
+        assert "dead" not in plan
+
+    def test_max_servers_caps_copies(self):
+        policy = BudgetGreedyPolicy(10**9)
+        s = summaries(("a", 100, 1))
+        plan = policy.plan_additions(s, max_servers=3)
+        assert len(plan) == 2  # 1 existing + 2 more = 3 = server count
+
+    def test_zero_budget_rejected(self):
+        with pytest.raises(ValueError):
+            BudgetGreedyPolicy(0)
+
+    def test_empty_input(self):
+        assert BudgetGreedyPolicy(100).plan_additions([], 5) == []
+
+    def test_big_files_not_starved_within_copy_count(self):
+        policy = BudgetGreedyPolicy(10_000)
+        s = summaries(("small", 10, 1), ("big", 1000, 1))
+        plan = policy.plan_additions(s, max_servers=2)
+        assert plan[0] == "big"  # same copy count: bigger first
+
+
+class TestFixedCount:
+    def test_targets_exact_copies(self):
+        policy = FixedCountPolicy(3)
+        s = summaries(("a", 100, 1), ("b", 100, 2), ("c", 100, 3))
+        plan = policy.plan_additions(s, max_servers=10)
+        assert plan.count("a") == 2
+        assert plan.count("b") == 1
+        assert plan.count("c") == 0
+
+    def test_ignores_budget_entirely(self):
+        policy = FixedCountPolicy(5)
+        s = summaries(*[(f"r{i}", 10**9, 1) for i in range(10)])
+        plan = policy.plan_additions(s, max_servers=10)
+        assert len(plan) == 40  # would blow any budget: the ablation point
+
+    def test_capped_by_server_count(self):
+        policy = FixedCountPolicy(5)
+        s = summaries(("a", 1, 1))
+        assert len(policy.plan_additions(s, max_servers=3)) == 2
+
+    def test_dead_records_skipped(self):
+        policy = FixedCountPolicy(2)
+        s = summaries(("dead", 1, 0))
+        assert policy.plan_additions(s, 5) == []
+
+    def test_invalid_count_rejected(self):
+        with pytest.raises(ValueError):
+            FixedCountPolicy(0)
+
+
+class TestPlanDrops:
+    def test_only_bad_replicas_dropped(self):
+        record = {
+            "replicas": [
+                {"host": "a", "port": 1, "path": "/x", "state": "ok"},
+                {"host": "b", "port": 1, "path": "/y", "state": "missing"},
+                {"host": "c", "port": 1, "path": "/z", "state": "damaged"},
+            ]
+        }
+        drops = plan_drops(record)
+        assert {d["host"] for d in drops} == {"b", "c"}
+
+    def test_default_state_is_ok(self):
+        record = {"replicas": [{"host": "a", "port": 1, "path": "/x"}]}
+        assert plan_drops(record) == []
+
+
+class TestRecordSummary:
+    def test_from_record_counts_live_only(self):
+        record = {
+            "id": "r1",
+            "size": 500,
+            "replicas": [
+                {"host": "a", "port": 1, "path": "/x", "state": "ok"},
+                {"host": "b", "port": 1, "path": "/y", "state": "missing"},
+            ],
+        }
+        s = RecordSummary.from_record(record)
+        assert s == RecordSummary("r1", 500, 1)

@@ -1,0 +1,77 @@
+"""Unit tests for mountlists (private namespaces)."""
+
+import pytest
+
+from repro.adapter.mountlist import Mountlist
+
+
+class TestMountlist:
+    def test_paper_example(self):
+        """The exact mountlist printed in section 6 of the paper."""
+        ml = Mountlist.from_text(
+            "/usr/local /cfs/shared.cse.nd.edu:9094/software\n"
+            "/data /dsfs/archive.cse.nd.edu:9094@run5/data\n"
+        )
+        assert (
+            ml.translate("/usr/local/bin/sp5")
+            == "/cfs/shared.cse.nd.edu:9094/software/bin/sp5"
+        )
+        assert ml.translate("/data/f") == "/dsfs/archive.cse.nd.edu:9094@run5/data/f"
+
+    def test_exact_prefix_match(self):
+        ml = Mountlist()
+        ml.add("/data", "/cfs/h:1/data")
+        assert ml.translate("/data") == "/cfs/h:1/data"
+
+    def test_component_boundary_respected(self):
+        ml = Mountlist()
+        ml.add("/data", "/cfs/h:1/data")
+        # /database is NOT under /data
+        assert ml.translate("/database/x") == "/database/x"
+
+    def test_longest_prefix_wins(self):
+        ml = Mountlist()
+        ml.add("/a", "/cfs/h:1/a")
+        ml.add("/a/b", "/cfs/h:2/b")
+        assert ml.translate("/a/b/f") == "/cfs/h:2/b/f"
+        assert ml.translate("/a/c/f") == "/cfs/h:1/a/c/f"
+
+    def test_untranslated_path_unchanged(self):
+        ml = Mountlist()
+        ml.add("/data", "/cfs/h:1/d")
+        assert ml.translate("/etc/passwd") == "/etc/passwd"
+
+    def test_chained_rules(self):
+        ml = Mountlist()
+        ml.add("/alias", "/data")
+        ml.add("/data", "/cfs/h:1/d")
+        assert ml.translate("/alias/f") == "/cfs/h:1/d/f"
+
+    def test_loop_detected(self):
+        ml = Mountlist()
+        ml.add("/a", "/b")
+        ml.add("/b", "/a")
+        with pytest.raises(ValueError):
+            ml.translate("/a/x")
+
+    def test_cannot_remap_root(self):
+        with pytest.raises(ValueError):
+            Mountlist().add("/", "/cfs/h:1")
+
+    def test_text_roundtrip(self):
+        ml = Mountlist.from_text("/a /cfs/h:1/a\n/b /cfs/h:2/b\n")
+        again = Mountlist.from_text(ml.to_text())
+        assert again.translate("/a/x") == ml.translate("/a/x")
+
+    def test_malformed_line_rejected(self):
+        with pytest.raises(ValueError):
+            Mountlist.from_text("/only-one-column\n")
+
+    def test_comments_ignored(self):
+        ml = Mountlist.from_text("# private namespace\n/a /b\n")
+        assert len(ml) == 1
+
+    def test_normalization_of_logical_names(self):
+        ml = Mountlist()
+        ml.add("/a/", "/cfs/h:1/a")
+        assert ml.translate("/a/f") == "/cfs/h:1/a/f"

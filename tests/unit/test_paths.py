@@ -1,0 +1,90 @@
+"""Unit tests for the software chroot (path confinement)."""
+
+import os
+
+import pytest
+
+from repro.util.paths import PathEscapeError, confine, normalize_virtual, split_virtual
+
+
+class TestNormalizeVirtual:
+    @pytest.mark.parametrize(
+        "raw,expected",
+        [
+            ("", "/"),
+            ("/", "/"),
+            ("a/b", "/a/b"),
+            ("/a/b/", "/a/b"),
+            ("/a//b", "/a/b"),
+            ("/a/./b", "/a/b"),
+            ("/a/../b", "/b"),
+            ("/../..", "/"),
+            ("/..", "/"),
+            ("/a/b/../../..", "/"),
+        ],
+    )
+    def test_normalization(self, raw, expected):
+        assert normalize_virtual(raw) == expected
+
+    def test_dotdot_clamps_at_root_like_chroot(self):
+        assert normalize_virtual("/../../../etc/passwd") == "/etc/passwd"
+
+    def test_backslash_rejected(self):
+        with pytest.raises(PathEscapeError):
+            normalize_virtual("/a\\b")
+
+    def test_nul_rejected(self):
+        with pytest.raises(PathEscapeError):
+            normalize_virtual("/a\x00b")
+
+
+class TestSplitVirtual:
+    def test_basic_split(self):
+        assert split_virtual("/a/b/c") == ("/a/b", "c")
+
+    def test_top_level_file(self):
+        assert split_virtual("/f") == ("/", "f")
+
+    def test_root_has_empty_basename(self):
+        assert split_virtual("/") == ("/", "")
+
+
+class TestConfine:
+    def test_simple_paths_land_under_root(self, tmp_path):
+        real = confine(str(tmp_path), "/a/b")
+        assert real == os.path.join(str(tmp_path.resolve()), "a/b")
+
+    def test_dotdot_cannot_escape(self, tmp_path):
+        real = confine(str(tmp_path), "/../../etc/passwd")
+        assert real.startswith(str(tmp_path.resolve()))
+
+    def test_symlink_escape_detected(self, tmp_path):
+        (tmp_path / "inside").mkdir()
+        os.symlink("/etc", str(tmp_path / "evil"))
+        with pytest.raises(PathEscapeError):
+            confine(str(tmp_path), "/evil")
+
+    def test_symlink_via_parent_detected(self, tmp_path):
+        os.symlink("/etc", str(tmp_path / "evil"))
+        with pytest.raises(PathEscapeError):
+            confine(str(tmp_path), "/evil/passwd")
+
+    def test_internal_symlink_allowed(self, tmp_path):
+        (tmp_path / "real").mkdir()
+        (tmp_path / "real" / "f.txt").write_text("x")
+        os.symlink(str(tmp_path / "real"), str(tmp_path / "alias"))
+        real = confine(str(tmp_path), "/alias/f.txt")
+        assert os.path.exists(real)
+
+    def test_dangling_internal_symlink_leaf_allowed(self, tmp_path):
+        os.symlink(str(tmp_path / "missing"), str(tmp_path / "dangling"))
+        real = confine(str(tmp_path), "/dangling")
+        assert real.startswith(str(tmp_path.resolve()))
+
+    def test_nonexistent_leaf_allowed_for_creation(self, tmp_path):
+        real = confine(str(tmp_path), "/newfile.txt")
+        assert real == os.path.join(str(tmp_path.resolve()), "newfile.txt")
+
+    def test_check_symlinks_false_is_purely_lexical(self, tmp_path):
+        real = confine(str(tmp_path), "/x/../y", check_symlinks=False)
+        assert real.endswith("/y")

@@ -1,0 +1,223 @@
+"""Unit tests for the discrete-event simulation engine."""
+
+import pytest
+
+from repro.sim.engine import Environment, Resource
+
+
+class TestTimeouts:
+    def test_clock_advances_to_events(self):
+        env = Environment()
+        log = []
+
+        def proc():
+            yield env.timeout(5)
+            log.append(env.now)
+            yield env.timeout(2.5)
+            log.append(env.now)
+
+        env.process(proc())
+        env.run()
+        assert log == [5, 7.5]
+
+    def test_zero_delay_allowed(self):
+        env = Environment()
+        log = []
+
+        def proc():
+            yield env.timeout(0)
+            log.append(env.now)
+
+        env.process(proc())
+        env.run()
+        assert log == [0]
+
+    def test_negative_delay_rejected(self):
+        env = Environment()
+        with pytest.raises(ValueError):
+            env.timeout(-1)
+
+    def test_run_until_stops_the_clock(self):
+        env = Environment()
+        log = []
+
+        def proc():
+            yield env.timeout(10)
+            log.append("late")
+
+        env.process(proc())
+        env.run(until=5)
+        assert log == []
+        assert env.now == 5
+
+    def test_timeout_value_delivered(self):
+        env = Environment()
+        seen = []
+
+        def proc():
+            value = yield env.timeout(1, value="payload")
+            seen.append(value)
+
+        env.process(proc())
+        env.run()
+        assert seen == ["payload"]
+
+    def test_ordering_ties_are_fifo(self):
+        env = Environment()
+        order = []
+
+        def proc(tag):
+            yield env.timeout(1)
+            order.append(tag)
+
+        for tag in ("a", "b", "c"):
+            env.process(proc(tag))
+        env.run()
+        assert order == ["a", "b", "c"]
+
+
+class TestProcesses:
+    def test_process_join(self):
+        env = Environment()
+        log = []
+
+        def child():
+            yield env.timeout(3)
+            return "child-result"
+
+        def parent():
+            result = yield env.process(child())
+            log.append((env.now, result))
+
+        env.process(parent())
+        env.run()
+        assert log == [(3, "child-result")]
+
+    def test_yield_from_subroutine(self):
+        env = Environment()
+        log = []
+
+        def sub():
+            yield env.timeout(2)
+
+        def proc():
+            yield from sub()
+            yield from sub()
+            log.append(env.now)
+
+        env.process(proc())
+        env.run()
+        assert log == [4]
+
+    def test_yielding_non_event_is_an_error(self):
+        env = Environment()
+
+        def proc():
+            yield 42
+
+        env.process(proc())
+        with pytest.raises(TypeError):
+            env.run()
+
+    def test_joining_completed_process(self):
+        env = Environment()
+        log = []
+
+        def quick():
+            return "done"
+            yield  # pragma: no cover
+
+        def parent():
+            p = env.process(quick())
+            yield env.timeout(5)
+            result = yield p  # already triggered
+            log.append((env.now, result))
+
+        env.process(parent())
+        env.run()
+        assert log == [(5, "done")]
+
+
+class TestResource:
+    def test_capacity_limits_concurrency(self):
+        env = Environment()
+        peak = {"now": 0, "max": 0}
+        res = Resource(env, capacity=2)
+
+        def worker():
+            req = res.request()
+            yield req
+            peak["now"] += 1
+            peak["max"] = max(peak["max"], peak["now"])
+            yield env.timeout(1)
+            peak["now"] -= 1
+            res.release()
+
+        for _ in range(6):
+            env.process(worker())
+        env.run()
+        assert peak["max"] == 2
+        assert env.now == 3  # 6 jobs, 2 at a time, 1s each
+
+    def test_fifo_ordering(self):
+        env = Environment()
+        res = Resource(env, capacity=1)
+        order = []
+
+        def worker(tag):
+            req = res.request()
+            yield req
+            order.append(tag)
+            yield env.timeout(1)
+            res.release()
+
+        for tag in range(5):
+            env.process(worker(tag))
+        env.run()
+        assert order == [0, 1, 2, 3, 4]
+
+    def test_release_without_request_is_an_error(self):
+        env = Environment()
+        res = Resource(env, capacity=1)
+        with pytest.raises(RuntimeError):
+            res.release()
+
+    def test_bad_capacity_rejected(self):
+        env = Environment()
+        with pytest.raises(ValueError):
+            Resource(env, capacity=0)
+
+    def test_utilization_accounting(self):
+        env = Environment()
+        res = Resource(env, capacity=1)
+
+        def worker():
+            req = res.request()
+            yield req
+            yield env.timeout(4)
+            res.release()
+            yield env.timeout(6)  # idle tail
+
+        env.process(worker())
+        env.run()
+        assert res.utilization() == pytest.approx(0.4)
+
+    def test_throughput_of_saturated_station(self):
+        """A saturated resource serves work at exactly its rate -- the
+        property Figures 6-8 rely on (port/backplane saturation)."""
+        env = Environment()
+        res = Resource(env, capacity=1)
+        done = {"jobs": 0}
+
+        def worker():
+            while True:
+                req = res.request()
+                yield req
+                yield env.timeout(0.1)
+                res.release()
+                done["jobs"] += 1
+
+        for _ in range(4):
+            env.process(worker())
+        env.run(until=100)
+        assert done["jobs"] == pytest.approx(1000, abs=5)

@@ -1,0 +1,204 @@
+"""Unit tests for the calibrated performance models (stacks, SP5, cluster).
+
+These tests pin the *figure-shape invariants* the benchmarks report, so a
+calibration regression is caught here before it silently skews a bench.
+"""
+
+import pytest
+
+from repro.sim.cluster import BufferCache
+from repro.sim.params import MB, PAPER_PARAMS
+from repro.sim.sp5 import SP5Workload, run_sp5_table
+from repro.sim.stacks import (
+    CfsStack,
+    DsfsStack,
+    NfsStack,
+    ParrotLocalStack,
+    SYSCALL_NAMES,
+    UnixStack,
+    WanCfsStack,
+    bandwidth_curve,
+)
+
+
+@pytest.fixture(scope="module")
+def stacks():
+    return {
+        "unix": UnixStack(),
+        "parrot": ParrotLocalStack(),
+        "nfs": NfsStack(),
+        "cfs": CfsStack(),
+        "dsfs": DsfsStack(),
+        "wan": WanCfsStack(),
+    }
+
+
+class TestFigure3Invariants:
+    def test_trap_slows_every_call(self, stacks):
+        for name in SYSCALL_NAMES:
+            assert stacks["parrot"].op(name) > stacks["unix"].op(name)
+
+    def test_most_calls_slowed_by_order_of_magnitude(self, stacks):
+        ratios = [
+            stacks["parrot"].op(n) / stacks["unix"].op(n) for n in SYSCALL_NAMES
+        ]
+        assert sum(1 for r in ratios if r >= 5) >= 3  # "most system calls"
+        assert all(r >= 3 for r in ratios)
+
+    def test_native_latencies_are_microseconds(self, stacks):
+        for name in SYSCALL_NAMES:
+            assert stacks["unix"].op(name) < 20e-6
+
+
+class TestFigure4Invariants:
+    def test_network_dwarfs_trap_overhead(self, stacks):
+        """Figure 4's headline: network latency outweighs Parrot's own
+        overhead by another order of magnitude."""
+        for name in ("stat", "open_close", "read_8k", "write_8k"):
+            trap_cost = stacks["parrot"].op(name) - stacks["unix"].op(name)
+            assert stacks["cfs"].op(name) >= 5 * trap_cost
+
+    def test_cfs_beats_nfs_on_metadata(self, stacks):
+        """CFS needs no per-component lookups."""
+        assert stacks["cfs"].op("stat") < stacks["nfs"].op("stat")
+        assert stacks["cfs"].op("open_close") < stacks["nfs"].op("open_close")
+
+    def test_cfs_beats_nfs_on_8k_write(self, stacks):
+        """One round trip vs two 4 KB RPCs."""
+        assert stacks["cfs"].op("write_8k") < stacks["nfs"].op("write_8k")
+
+    def test_dsfs_matches_cfs_on_data_path(self, stacks):
+        assert stacks["dsfs"].op("read_8k") == stacks["cfs"].op("read_8k")
+        assert stacks["dsfs"].op("write_8k") == stacks["cfs"].op("write_8k")
+
+    def test_dsfs_metadata_about_twice_cfs(self, stacks):
+        for name in ("stat", "open_close"):
+            ratio = stacks["dsfs"].op(name) / stacks["cfs"].op(name)
+            assert 1.3 <= ratio <= 3.0
+
+
+class TestFigure5Invariants:
+    BLOCKS = [2**i for i in range(0, 24)]
+
+    def test_all_curves_rise_to_a_plateau(self, stacks):
+        for key in ("unix", "parrot", "cfs"):
+            curve = bandwidth_curve(stacks[key], self.BLOCKS)
+            values = list(curve.values())
+            assert values[0] < 1.0  # tiny blocks are overhead-bound
+            assert values[-1] > 0.9 * max(values)
+
+    def test_plateau_ordering(self, stacks):
+        def plateau(stack):
+            return max(bandwidth_curve(stack, self.BLOCKS).values())
+
+        unix, parrot = plateau(stacks["unix"]), plateau(stacks["parrot"])
+        cfs, nfs = plateau(stacks["cfs"]), plateau(stacks["nfs"])
+        assert unix > parrot > cfs > nfs
+
+    def test_paper_anchor_values(self, stacks):
+        def plateau(stack):
+            return max(bandwidth_curve(stack, self.BLOCKS).values())
+
+        assert plateau(stacks["unix"]) == pytest.approx(798, rel=0.10)
+        assert plateau(stacks["parrot"]) == pytest.approx(431, rel=0.10)
+        assert plateau(stacks["cfs"]) == pytest.approx(80, rel=0.10)
+        assert plateau(stacks["nfs"]) == pytest.approx(10, rel=0.25)
+
+    def test_nfs_is_order_of_magnitude_below_cfs(self, stacks):
+        cfs = max(bandwidth_curve(stacks["cfs"], self.BLOCKS).values())
+        nfs = max(bandwidth_curve(stacks["nfs"], self.BLOCKS).values())
+        assert cfs / nfs >= 5
+
+    def test_nfs_plateau_is_flat_beyond_4k(self, stacks):
+        """Request-response at fixed block size cannot exploit big blocks."""
+        curve = bandwidth_curve(stacks["nfs"], [4096, 65536, 2**23])
+        values = list(curve.values())
+        assert max(values) / min(values) < 1.2
+
+
+class TestSP5Model:
+    def test_table_shape(self):
+        rows = {r.config: r for r in run_sp5_table()}
+        unix, nfs = rows["unix"], rows["lan-nfs"]
+        tss, wan = rows["lan-tss"], rows["wan-tss"]
+        # init jumps by an order of magnitude going remote
+        assert 5 <= nfs.init_time / unix.init_time <= 15
+        # NFS and TSS are equivalent on the LAN (both disk-bound)
+        assert abs(nfs.init_time - tss.init_time) / nfs.init_time < 0.10
+        # the WAN surcharge exists but is far less than the remote jump
+        assert tss.init_time < wan.init_time < 2 * tss.init_time
+        # events stay within a factor of two of local
+        assert nfs.time_per_event < 2 * unix.time_per_event
+        # the WAN node's faster CPU makes single events *faster* than LAN
+        assert wan.time_per_event < tss.time_per_event
+
+    def test_paper_anchor_magnitudes(self):
+        rows = {r.config: r for r in run_sp5_table()}
+        assert rows["unix"].init_time == pytest.approx(446, rel=0.25)
+        assert rows["lan-nfs"].init_time == pytest.approx(4464, rel=0.25)
+        assert rows["lan-tss"].init_time == pytest.approx(4505, rel=0.25)
+        assert rows["wan-tss"].init_time == pytest.approx(6275, rel=0.25)
+        assert rows["unix"].time_per_event == pytest.approx(64, rel=0.25)
+        assert rows["lan-tss"].time_per_event == pytest.approx(113, rel=0.25)
+        assert rows["wan-tss"].time_per_event == pytest.approx(88, rel=0.25)
+
+    def test_unknown_config_rejected(self):
+        wl = SP5Workload()
+        with pytest.raises(ValueError):
+            wl.init_time("vax")
+
+
+class TestBufferCache:
+    def test_hit_after_insert(self):
+        cache = BufferCache(100)
+        assert not cache.access("a", 40)  # miss, inserted
+        assert cache.access("a", 40)  # hit
+
+    def test_lru_eviction(self):
+        cache = BufferCache(100)
+        cache.access("a", 40)
+        cache.access("b", 40)
+        cache.access("a", 40)  # refresh a
+        cache.access("c", 40)  # evicts b (LRU)
+        assert cache.access("a", 40)
+        assert not cache.access("b", 40)
+
+    def test_oversized_file_never_cached(self):
+        cache = BufferCache(100)
+        assert not cache.access("big", 200)
+        assert not cache.access("big", 200)
+        assert cache.used == 0
+
+    def test_used_never_exceeds_capacity(self):
+        cache = BufferCache(100)
+        for i in range(50):
+            cache.access(f"f{i}", 30)
+            assert cache.used <= 100
+
+    def test_invalidate(self):
+        cache = BufferCache(100)
+        cache.access("a", 50)
+        cache.invalidate("a")
+        assert cache.used == 0
+        assert not cache.access("a", 50)
+
+    def test_hit_rate(self):
+        cache = BufferCache(100)
+        cache.access("a", 10)
+        cache.access("a", 10)
+        cache.access("a", 10)
+        assert cache.hit_rate == pytest.approx(2 / 3)
+
+
+class TestParams:
+    def test_figure7_crossover_is_calibrated(self):
+        """1280 MB over 2 servers must miss cache; over 3 must fit --
+        the Figure 7 crossover depends on exactly this."""
+        p = PAPER_PARAMS
+        dataset = 1280 * MB
+        assert dataset / 2 > p.cache_bytes
+        assert dataset / 3 < p.cache_bytes
+
+    def test_backplane_is_three_ports(self):
+        p = PAPER_PARAMS
+        assert p.backplane_bw == pytest.approx(3 * p.port_bw)

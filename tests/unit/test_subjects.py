@@ -1,0 +1,64 @@
+"""Unit tests for subject names and pattern matching."""
+
+import pytest
+
+from repro.auth.subjects import (
+    make_subject,
+    parse_subject,
+    subject_matches,
+    validate_subject,
+)
+
+
+class TestMakeParse:
+    def test_roundtrip(self):
+        s = make_subject("unix", "dthain")
+        assert parse_subject(s) == ("unix", "dthain")
+
+    def test_globus_dn_with_colons_ok(self):
+        s = make_subject("globus", "/O=ND/CN=a:b")
+        method, name = parse_subject(s)
+        assert method == "globus"
+        assert name == "/O=ND/CN=a:b"
+
+    @pytest.mark.parametrize("bad", ["", "nomethod", ":noname", "method:"])
+    def test_malformed_rejected(self, bad):
+        with pytest.raises(ValueError):
+            parse_subject(bad)
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError):
+            make_subject("unix", "")
+
+    def test_colon_in_method_rejected(self):
+        with pytest.raises(ValueError):
+            make_subject("a:b", "x")
+
+    def test_validate_rejects_whitespace(self):
+        with pytest.raises(ValueError):
+            validate_subject("unix:a b")
+
+
+class TestMatching:
+    def test_exact_match(self):
+        assert subject_matches("unix:alice", "unix:alice")
+        assert not subject_matches("unix:alice", "unix:bob")
+
+    def test_hostname_domain_wildcard(self):
+        # The paper's example: hostname:*.cse.nd.edu
+        assert subject_matches("hostname:*.cse.nd.edu", "hostname:laptop.cse.nd.edu")
+        assert not subject_matches("hostname:*.cse.nd.edu", "hostname:evil.example.com")
+
+    def test_globus_organization_wildcard(self):
+        # The paper's example: globus:/O=Notre_Dame/*
+        assert subject_matches("globus:/O=NotreDame/*", "globus:/O=NotreDame/CN=alice")
+        assert not subject_matches("globus:/O=NotreDame/*", "globus:/O=Evil/CN=alice")
+
+    def test_method_must_match(self):
+        assert not subject_matches("hostname:*", "unix:alice")
+
+    def test_star_matches_everyone(self):
+        assert subject_matches("*", "kerberos:a@ND.EDU")
+
+    def test_case_sensitive(self):
+        assert not subject_matches("unix:Alice", "unix:alice")

@@ -1,0 +1,38 @@
+"""Unit tests for the WAN stack model (section 8's fourth configuration)."""
+
+import pytest
+
+from repro.sim.params import PAPER_PARAMS
+from repro.sim.stacks import CfsStack, WanCfsStack, bandwidth_curve
+
+
+class TestWanCfsStack:
+    def test_metadata_dominated_by_wan_rtt(self):
+        wan = WanCfsStack()
+        lan = CfsStack()
+        assert wan.op("stat") > 100 * lan.op("stat") / 10  # much slower
+        assert wan.op("stat") >= PAPER_PARAMS.wan_rtt
+
+    def test_streaming_bounded_by_wan_link(self):
+        wan = WanCfsStack()
+        blocks = [2**i for i in range(0, 24)]
+        peak = max(bandwidth_curve(wan, blocks).values())
+        # "(roughly) 100 Mbps capacity" = ~12 MB/s
+        assert 9 <= peak <= 13
+
+    def test_latency_bandwidth_tradeoff_vs_lan(self):
+        """The WAN path has far worse latency but only modestly worse
+        streaming -- exactly why SP5's bulk-bound init pays only a small
+        WAN surcharge while per-call workloads would be destroyed."""
+        wan, lan = WanCfsStack(), CfsStack()
+        latency_ratio = wan.op("stat") / lan.op("stat")
+        blocks = [2**20]
+        bw_ratio = (
+            bandwidth_curve(lan, blocks)[2**20] / bandwidth_curve(wan, blocks)[2**20]
+        )
+        assert latency_ratio > 20
+        assert bw_ratio < 10
+
+    def test_read_write_symmetry(self):
+        wan = WanCfsStack()
+        assert wan.op_read(65536) == wan.op_write(65536)
