@@ -44,6 +44,12 @@ from repro.core import (
 )
 from repro.adapter import Adapter, Mountlist, interposed
 from repro.db import MetadataDB, DatabaseServer, DatabaseClient, Query
+from repro.transport import (
+    Endpoint,
+    EndpointManager,
+    MetricsRegistry,
+    default_registry,
+)
 from repro.auth import Acl, AclEntry, parse_rights
 from repro.auth.methods import (
     AuthContext,
@@ -75,6 +81,10 @@ __all__ = [
     "DatabaseServer",
     "DatabaseClient",
     "Query",
+    "Endpoint",
+    "EndpointManager",
+    "MetricsRegistry",
+    "default_registry",
     "Acl",
     "AclEntry",
     "parse_rights",

@@ -32,7 +32,8 @@ from repro.core.cfs import CFS
 from repro.core.dsfs import DSFS
 from repro.core.interface import Filesystem, StatResult, to_stat_result
 from repro.core.pool import ClientPool
-from repro.core.retry import RetryPolicy
+from repro.transport.metrics import MetricsRegistry
+from repro.transport.recovery import RetryPolicy
 from repro.util.errors import ChirpError, oserror_from_status
 from repro.util.paths import normalize_virtual
 
@@ -63,6 +64,10 @@ class Adapter:
         transparently appends ``O_SYNC`` to all opens.
     :param mountlist: private namespace (may also be grown via
         :meth:`add_mount_rule`).
+    :param max_conns_per_endpoint: connection cap handed to the pool this
+        adapter creates (ignored when ``pool`` is supplied).
+    :param metrics: registry observing this adapter's transport traffic
+        (ignored when ``pool`` is supplied).
     """
 
     def __init__(
@@ -72,8 +77,17 @@ class Adapter:
         policy: Optional[RetryPolicy] = None,
         sync_writes: bool = False,
         mountlist: Optional[Mountlist] = None,
+        max_conns_per_endpoint: Optional[int] = None,
+        metrics: Optional[MetricsRegistry] = None,
     ):
-        self.pool = pool or ClientPool(credentials)
+        if pool is None:
+            kwargs = {}
+            if max_conns_per_endpoint is not None:
+                kwargs["max_conns_per_endpoint"] = max_conns_per_endpoint
+            if metrics is not None:
+                kwargs["metrics"] = metrics
+            pool = ClientPool(credentials, policy=policy, **kwargs)
+        self.pool = pool
         self.policy = policy or RetryPolicy()
         self.sync_writes = sync_writes
         self.mountlist = mountlist or Mountlist()

@@ -8,9 +8,9 @@ changed by the time a file server is actually contacted.
 from __future__ import annotations
 
 import json
-import socket
 
 from repro.catalog.report import ServerReport
+from repro.transport.dial import oneshot_exchange
 from repro.util.errors import DisconnectedError, TimedOutError
 
 __all__ = ["query_catalog", "CatalogClient"]
@@ -20,20 +20,14 @@ def query_catalog(
     host: str, port: int, fmt: str = "json", timeout: float = 10.0
 ) -> str:
     """Fetch a raw catalog listing in the requested format."""
-    try:
-        with socket.create_connection((host, port), timeout=timeout) as sock:
-            sock.sendall(f"query {fmt}\n".encode("ascii"))
-            chunks = []
-            while True:
-                data = sock.recv(65536)
-                if not data:
-                    break
-                chunks.append(data)
-    except socket.timeout as exc:
-        raise TimedOutError(f"catalog query to {host}:{port}") from exc
-    except OSError as exc:
-        raise DisconnectedError(f"catalog query to {host}:{port}: {exc}") from exc
-    return b"".join(chunks).decode("utf-8")
+    body = oneshot_exchange(
+        host,
+        port,
+        f"query {fmt}\n".encode("ascii"),
+        timeout=timeout,
+        metric="catalog.query",
+    )
+    return body.decode("utf-8")
 
 
 class CatalogClient:

@@ -13,40 +13,55 @@ Mirrors the RPC fragment printed in the paper::
 
 The client is deliberately stateless about file positions: ``pread`` and
 ``pwrite`` take explicit offsets, so the *caller* (normally the adapter)
-owns seek state.  File descriptors are valid only for the lifetime of the
-connection; on disconnect the server closes them, and callers recover by
-reconnecting and re-opening (see :mod:`repro.adapter`).
+owns seek state.
+
+Since the transport refactor a ``ChirpClient`` is a *session* over an
+:class:`~repro.transport.endpoint.Endpoint`, which may hold several
+warm TCP connections to the same server.  Stateless operations (stat,
+getfile, putfile, namespace calls) check a connection out for exactly
+one exchange, so threads sharing one client proceed concurrently up to
+the endpoint's connection cap instead of serializing on a global lock.
+
+File descriptors remain *connection*-scoped, exactly as the paper's
+server frees them on disconnect.  The client therefore hands out virtual
+fds and routes each one to the connection that opened it; a fd whose
+connection died surfaces :class:`~repro.util.errors.DisconnectedError`,
+and handle-level recovery (see :mod:`repro.core.cfs`) re-opens.  The
+endpoint's ``generation`` advances exactly once per reconnect-from-dead,
+so a stale fd is never replayed against a newer connection.
 """
 
 from __future__ import annotations
 
-import io
-import socket
+import itertools
 import threading
 from typing import BinaryIO, Optional, Union
 
-from repro.auth.acl import Acl, AclEntry, parse_rights
-from repro.auth.methods import ClientCredentials, authenticate_client
+from repro.auth.acl import Acl
+from repro.auth.methods import ClientCredentials
 from repro.chirp.protocol import ChirpStat, OpenFlags, StatFs
+from repro.transport.connection import Connection
+from repro.transport.endpoint import Endpoint
+from repro.transport.metrics import MetricsRegistry
 from repro.util.errors import (
+    BadFileDescriptorError,
     ChirpError,
     DisconnectedError,
-    TimedOutError,
-    error_from_status,
 )
-from repro.util.wire import LineStream
 
 __all__ = ["ChirpClient"]
 
-_STREAM_CHUNK = 1 << 20
-
 
 class ChirpClient:
-    """A connection to one Chirp file server.
+    """A session with one Chirp file server.
 
-    Thread-safe: a lock serializes RPCs, matching the one-outstanding-call
-    discipline of the original library.  All errors surface as
+    Thread-safe.  All errors surface as
     :class:`~repro.util.errors.ChirpError` subclasses.
+
+    :param endpoint: share an existing endpoint session (the
+        :class:`~repro.core.pool.ClientPool` path); when omitted, the
+        client owns a private endpoint built from ``credentials``,
+        ``timeout`` and ``max_conns``.
     """
 
     def __init__(
@@ -55,67 +70,79 @@ class ChirpClient:
         port: int,
         credentials: Optional[ClientCredentials] = None,
         timeout: float = 30.0,
+        endpoint: Optional[Endpoint] = None,
+        max_conns: Optional[int] = None,
+        metrics: Optional[MetricsRegistry] = None,
     ):
-        self.host = host
-        self.port = port
-        self.credentials = credentials or ClientCredentials()
-        self.timeout = timeout
-        self._lock = threading.RLock()
-        self._stream: Optional[LineStream] = None
-        self.subject: Optional[str] = None
-        #: Incremented on every successful (re)connect.  File descriptors
-        #: are connection-scoped, so holders compare generations to learn
-        #: that their fd died with an old connection (and that a stale fd
-        #: number must never be reused against a newer connection).
-        self.generation = 0
+        if endpoint is None:
+            kwargs = {}
+            if max_conns is not None:
+                kwargs["max_conns"] = max_conns
+            if metrics is not None:
+                kwargs["metrics"] = metrics
+            endpoint = Endpoint(
+                host,
+                int(port),
+                credentials=credentials,
+                timeout=timeout,
+                **kwargs,
+            )
+        self.endpoint = endpoint
+        self.host = endpoint.host
+        self.port = endpoint.port
+        self.credentials = endpoint.credentials
+        self.timeout = endpoint.timeout
+        # Virtual fd -> (connection, raw server fd).  Virtual fds are
+        # never reused (monotonic counter), so a stale number can never
+        # alias an fd opened after a reconnect.
+        self._fd_lock = threading.Lock()
+        self._fds: dict[int, tuple[Connection, int]] = {}
+        self._next_fd = itertools.count(3)
         self.connect()
 
     # -- connection management -------------------------------------------
 
     def connect(self) -> None:
-        """(Re)establish the TCP connection and authenticate."""
-        with self._lock:
-            self.close()
-            try:
-                sock = socket.create_connection(
-                    (self.host, self.port), timeout=self.timeout
-                )
-            except socket.timeout as exc:
-                raise TimedOutError(f"connect to {self.host}:{self.port}") from exc
-            except OSError as exc:
-                raise DisconnectedError(
-                    f"connect to {self.host}:{self.port} failed: {exc}"
-                ) from exc
-            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
-            stream = LineStream(sock)
-            try:
-                self.subject = authenticate_client(stream, self.credentials)
-            except Exception:
-                stream.close()
-                raise
-            self._stream = stream
-            self.generation += 1
+        """(Re)establish the session: drop every connection (and every
+        fd with them) and dial afresh.  Advances the generation."""
+        with self._fd_lock:
+            self._fds.clear()
+        self.endpoint.connect()
+
+    @property
+    def generation(self) -> int:
+        """Advances exactly once per reconnect; fds opened under an older
+        generation died with their connections."""
+        return self.endpoint.generation
+
+    @property
+    def subject(self) -> Optional[str]:
+        return self.endpoint.subject
 
     @property
     def is_connected(self) -> bool:
-        return self._stream is not None
+        return self.endpoint.is_connected
 
     def ensure_connected(self) -> None:
-        """Reconnect only if the connection is down.
+        """Reconnect only if every connection is down.
 
         Used by handle recovery: when several handles notice the same
-        dead connection, only the first reconnects (one generation bump);
+        dead server, only the first reconnects (one generation bump);
         the rest just re-open their files on the new connection.
         """
-        with self._lock:
-            if self._stream is None:
-                self.connect()
+        self.endpoint.ensure_connected()
+
+    @property
+    def _stream(self):
+        """One live connection's raw stream (protocol tests poke the wire)."""
+        return self.endpoint.raw_stream()
 
     def close(self) -> None:
-        with self._lock:
-            if self._stream is not None:
-                self._stream.close()
-                self._stream = None
+        # The fd table is NOT cleared: outstanding handles probing their
+        # fds must keep seeing DisconnectedError (their connections are
+        # closed), exactly as if the server had vanished.  connect()
+        # clears it.
+        self.endpoint.close()
 
     def __enter__(self) -> "ChirpClient":
         return self
@@ -129,42 +156,30 @@ class ChirpClient:
 
     # -- RPC plumbing -------------------------------------------------------
 
-    def _require_stream(self) -> LineStream:
-        if self._stream is None:
-            raise DisconnectedError("client is not connected")
-        return self._stream
+    def _stateless(self, op):
+        """Run one exchange on any available connection."""
+        conn = self.endpoint.checkout()
+        try:
+            return op(conn)
+        finally:
+            self.endpoint.checkin(conn)
 
-    def _rpc(self, *tokens: object, payload: bytes | None = None) -> list[str]:
-        """Send one request, return reply tokens after the status.
-
-        On failure the stream is torn down (a half-completed exchange can
-        never be resynchronized) and :class:`DisconnectedError` propagates.
-        """
-        with self._lock:
-            stream = self._require_stream()
-            try:
-                stream.write_line(*tokens)
-                if payload:
-                    stream.write(payload)
-                reply = stream.read_tokens()
-            except (DisconnectedError, socket.timeout) as exc:
-                self._teardown()
-                if isinstance(exc, socket.timeout):
-                    raise TimedOutError(str(tokens[0])) from exc
-                raise
-            if not reply:
-                self._teardown()
-                raise DisconnectedError("empty reply line")
-            status = int(reply[0])
-            if status < 0:
-                message = reply[1] if len(reply) > 1 else ""
-                raise error_from_status(status, message)
-            return reply
-
-    def _teardown(self) -> None:
-        if self._stream is not None:
-            self._stream.close()
-            self._stream = None
+    def _fd_conn(self, fd: int) -> tuple[Connection, int]:
+        """Route a virtual fd to its owning connection."""
+        with self._fd_lock:
+            entry = self._fds.get(fd)
+        if entry is None:
+            # Never issued, or explicitly closed.  Dead-connection fds
+            # stay mapped (to a closed connection) so recovery still sees
+            # DisconnectedError below.
+            raise BadFileDescriptorError(f"fd {fd} is not open on this client")
+        conn, raw_fd = entry
+        if conn.closed:
+            # Keep the mapping: the caller may probe the dead fd again
+            # before recovery runs, and each probe must keep reading as a
+            # disconnect.  connect()/close() clear the table.
+            raise DisconnectedError(f"fd {fd}: its connection is gone")
+        return conn, raw_fd
 
     # -- file I/O -------------------------------------------------------
 
@@ -174,58 +189,72 @@ class ChirpClient:
         flags: Union[str, OpenFlags] = "r",
         mode: int = 0o644,
     ) -> int:
-        """Open a remote file; returns a connection-scoped fd."""
+        """Open a remote file; returns a connection-scoped fd.
+
+        The returned fd is bound to the connection that opened it; all
+        later operations on it route there, concurrent with traffic on
+        the endpoint's other connections.
+        """
         if isinstance(flags, str):
             try:
                 flags = OpenFlags.decode(flags)
             except ChirpError:
                 flags = OpenFlags.parse_mode_string(flags)
-        reply = self._rpc("open", path, flags.encode(), mode)
-        return int(reply[0])
+        conn = self.endpoint.checkout()
+        try:
+            raw_fd = conn.open_fd(path, flags.encode(), mode)
+        finally:
+            self.endpoint.checkin(conn)
+        with self._fd_lock:
+            fd = next(self._next_fd)
+            self._fds[fd] = (conn, raw_fd)
+        return fd
 
     def close_fd(self, fd: int) -> None:
-        self._rpc("close", fd)
+        try:
+            conn, raw_fd = self._fd_conn(fd)
+        except DisconnectedError:
+            # Explicit close is end-of-life even for a dead connection's
+            # fd; the server freed it on disconnect already.
+            with self._fd_lock:
+                self._fds.pop(fd, None)
+            raise
+        try:
+            conn.close_fd(raw_fd)
+        finally:
+            with self._fd_lock:
+                self._fds.pop(fd, None)
 
     def pread(self, fd: int, length: int, offset: int) -> bytes:
-        with self._lock:
-            stream = self._require_stream()
-            try:
-                stream.write_line("pread", fd, length, offset)
-                reply = stream.read_tokens()
-                status = int(reply[0])
-                if status < 0:
-                    raise error_from_status(status, reply[1] if len(reply) > 1 else "")
-                return stream.read_exact(status)
-            except DisconnectedError:
-                self._teardown()
-                raise
+        conn, raw_fd = self._fd_conn(fd)
+        return conn.pread(raw_fd, length, offset)
 
     def pwrite(self, fd: int, data: bytes, offset: int) -> int:
-        reply = self._rpc("pwrite", fd, len(data), offset, payload=bytes(data))
-        return int(reply[0])
+        conn, raw_fd = self._fd_conn(fd)
+        return conn.pwrite(raw_fd, data, offset)
 
     def fsync(self, fd: int) -> None:
-        self._rpc("fsync", fd)
+        conn, raw_fd = self._fd_conn(fd)
+        conn.fsync(raw_fd)
 
     def fstat(self, fd: int) -> ChirpStat:
-        reply = self._rpc("fstat", fd)
-        return ChirpStat.from_tokens(reply[1:])
+        conn, raw_fd = self._fd_conn(fd)
+        return conn.fstat(raw_fd)
 
     def ftruncate(self, fd: int, size: int) -> None:
-        self._rpc("ftruncate", fd, size)
+        conn, raw_fd = self._fd_conn(fd)
+        conn.ftruncate(raw_fd, size)
 
     # -- namespace ------------------------------------------------------
 
     def stat(self, path: str) -> ChirpStat:
-        reply = self._rpc("stat", path)
-        return ChirpStat.from_tokens(reply[1:])
+        return self._stateless(lambda c: c.stat(path))
 
     def lstat(self, path: str) -> ChirpStat:
-        reply = self._rpc("lstat", path)
-        return ChirpStat.from_tokens(reply[1:])
+        return self._stateless(lambda c: c.lstat(path))
 
     def access(self, path: str, rights: str = "l") -> None:
-        self._rpc("access", path, rights)
+        self._stateless(lambda c: c.access(path, rights))
 
     def exists(self, path: str) -> bool:
         """Convenience: stat without raising for a missing path."""
@@ -236,44 +265,28 @@ class ChirpClient:
             return False
 
     def unlink(self, path: str) -> None:
-        self._rpc("unlink", path)
+        self._stateless(lambda c: c.unlink(path))
 
     def rename(self, old: str, new: str) -> None:
-        self._rpc("rename", old, new)
+        self._stateless(lambda c: c.rename(old, new))
 
     def mkdir(self, path: str, mode: int = 0o755) -> None:
-        self._rpc("mkdir", path, mode)
+        self._stateless(lambda c: c.mkdir(path, mode))
 
     def rmdir(self, path: str) -> None:
-        self._rpc("rmdir", path)
+        self._stateless(lambda c: c.rmdir(path))
 
     def getdir(self, path: str) -> list[str]:
-        with self._lock:
-            stream = self._require_stream()
-            try:
-                stream.write_line("getdir", path)
-                reply = stream.read_tokens()
-                status = int(reply[0])
-                if status < 0:
-                    raise error_from_status(status, reply[1] if len(reply) > 1 else "")
-                names = []
-                for _ in range(status):
-                    toks = stream.read_tokens()
-                    names.append(toks[0] if toks else "")
-                return names
-            except DisconnectedError:
-                self._teardown()
-                raise
+        return self._stateless(lambda c: c.getdir(path))
 
     def truncate(self, path: str, size: int) -> None:
-        self._rpc("truncate", path, size)
+        self._stateless(lambda c: c.truncate(path, size))
 
     def utime(self, path: str, atime: int, mtime: int) -> None:
-        self._rpc("utime", path, atime, mtime)
+        self._stateless(lambda c: c.utime(path, atime, mtime))
 
     def checksum(self, path: str) -> str:
-        reply = self._rpc("checksum", path)
-        return reply[1]
+        return self._stateless(lambda c: c.checksum(path))
 
     # -- streaming whole files -------------------------------------------
 
@@ -284,23 +297,7 @@ class ChirpClient:
         streams into it and returns the byte count (never materializing
         the file in client memory).
         """
-        with self._lock:
-            stream = self._require_stream()
-            try:
-                stream.write_line("getfile", path)
-                reply = stream.read_tokens()
-                status = int(reply[0])
-                if status < 0:
-                    raise error_from_status(status, reply[1] if len(reply) > 1 else "")
-                if sink is None:
-                    buf = io.BytesIO()
-                    stream.read_into_file(buf, status, _STREAM_CHUNK)
-                    return buf.getvalue()
-                stream.read_into_file(sink, status, _STREAM_CHUNK)
-                return status
-            except DisconnectedError:
-                self._teardown()
-                raise
+        return self._stateless(lambda c: c.getfile(path, sink))
 
     def putfile(
         self,
@@ -310,62 +307,18 @@ class ChirpClient:
         length: Optional[int] = None,
     ) -> int:
         """Stream a whole file to the server (create/truncate semantics)."""
-        with self._lock:
-            stream = self._require_stream()
-            if isinstance(data, (bytes, bytearray, memoryview)):
-                payload: Optional[bytes] = bytes(data)
-                total = len(payload)
-            else:
-                payload = None
-                if length is None:
-                    pos = data.tell()
-                    data.seek(0, io.SEEK_END)
-                    length = data.tell() - pos
-                    data.seek(pos)
-                total = length
-            try:
-                stream.write_line("putfile", path, mode, total)
-                if payload is not None:
-                    stream.write(payload)
-                else:
-                    stream.write_from_file(data, total, _STREAM_CHUNK)
-                reply = stream.read_tokens()
-                status = int(reply[0])
-                if status < 0:
-                    raise error_from_status(status, reply[1] if len(reply) > 1 else "")
-                return status
-            except DisconnectedError:
-                self._teardown()
-                raise
+        return self._stateless(lambda c: c.putfile(path, data, mode, length))
 
     # -- ACLs and server state ---------------------------------------------
 
     def getacl(self, path: str) -> Acl:
-        with self._lock:
-            stream = self._require_stream()
-            try:
-                stream.write_line("getacl", path)
-                reply = stream.read_tokens()
-                status = int(reply[0])
-                if status < 0:
-                    raise error_from_status(status, reply[1] if len(reply) > 1 else "")
-                entries = []
-                for _ in range(status):
-                    toks = stream.read_tokens()
-                    if len(toks) == 2:
-                        entries.append(AclEntry(toks[0], parse_rights(toks[1])))
-                return Acl(entries)
-            except DisconnectedError:
-                self._teardown()
-                raise
+        return self._stateless(lambda c: c.getacl(path))
 
     def setacl(self, path: str, pattern: str, rights: str) -> None:
-        self._rpc("setacl", path, pattern, rights)
+        self._stateless(lambda c: c.setacl(path, pattern, rights))
 
     def whoami(self) -> str:
-        reply = self._rpc("whoami")
-        return reply[1]
+        return self._stateless(lambda c: c.whoami())
 
     def statfs(self) -> StatFs:
-        reply = self._rpc("statfs")
-        return StatFs.from_tokens(reply[1:])
+        return self._stateless(lambda c: c.statfs())

@@ -21,7 +21,7 @@ from typing import Optional
 from repro.chirp.client import ChirpClient
 from repro.chirp.protocol import ChirpStat, OpenFlags, StatFs
 from repro.core.interface import FileHandle, Filesystem
-from repro.core.retry import RetryPolicy
+from repro.transport.recovery import RetryPolicy
 from repro.util.errors import DisconnectedError, StaleHandleError
 from repro.util.paths import normalize_virtual
 

@@ -18,7 +18,7 @@ from typing import Optional, Sequence
 from repro.core.metastore import LocalMetadataStore, VOLUME_FILE
 from repro.core.placement import PlacementPolicy
 from repro.core.pool import ClientPool
-from repro.core.retry import RetryPolicy
+from repro.transport.recovery import RetryPolicy
 from repro.core.stubfs import StubFilesystem
 from repro.util.errors import AlreadyExistsError
 

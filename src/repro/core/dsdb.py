@@ -29,8 +29,9 @@ from typing import BinaryIO, Optional, Protocol, Sequence, Union
 from repro.chirp.protocol import StatFs
 from repro.core.placement import PlacementPolicy, RoundRobinPlacement
 from repro.core.pool import ClientPool
-from repro.core.retry import RetryPolicy
 from repro.core.stubs import unique_data_name
+from repro.transport.fanout import DEFAULT_FANOUT, FanoutPool
+from repro.transport.recovery import RetryPolicy
 from repro.db.query import Query
 from repro.util.checksum import data_checksum, file_checksum, stream_checksum
 from repro.util.errors import (
@@ -99,6 +100,7 @@ class DSDB:
         self.data_dir = f"/tssdata/{volume}"
         self.placement = placement or RoundRobinPlacement()
         self.policy = policy or RetryPolicy()
+        self.fanout = FanoutPool(min(max(len(self.servers), 1), DEFAULT_FANOUT))
         self._dirs_made: set[tuple[str, int]] = set()
 
     # ------------------------------------------------------------------
@@ -358,17 +360,22 @@ class DSDB:
     # ------------------------------------------------------------------
 
     def statfs(self) -> StatFs:
-        total = free = 0
-        for host, port in self.servers:
+        # One probe per server, concurrently: aggregate capacity of a
+        # wide deployment answers in one server's round-trip time.
+        def probe(host: str, port: int) -> Optional[StatFs]:
             client = self.pool.try_get(host, port)
             if client is None:
-                continue
+                return None
             try:
-                fs = client.statfs()
+                return client.statfs()
             except ChirpError:
-                continue
-            total += fs.total_bytes
-            free += fs.free_bytes
+                return None
+
+        reports = self.fanout.run([
+            (lambda ep=ep: probe(*ep)) for ep in self.servers
+        ])
+        total = sum(fs.total_bytes for fs in reports if fs is not None)
+        free = sum(fs.free_bytes for fs in reports if fs is not None)
         return StatFs(total, free)
 
     def stored_bytes(self) -> int:

@@ -19,7 +19,7 @@ from repro.core.dpfs import _ensure_remote_dirs
 from repro.core.metastore import ChirpMetadataStore, VOLUME_FILE
 from repro.core.placement import PlacementPolicy
 from repro.core.pool import ClientPool
-from repro.core.retry import RetryPolicy
+from repro.transport.recovery import RetryPolicy
 from repro.core.stubfs import StubFilesystem
 from repro.util.errors import AlreadyExistsError
 from repro.util.paths import normalize_virtual

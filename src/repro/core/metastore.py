@@ -23,7 +23,7 @@ from typing import Optional
 
 from repro.chirp.client import ChirpClient
 from repro.chirp.protocol import ChirpStat, OpenFlags
-from repro.core.retry import RetryPolicy
+from repro.transport.recovery import RetryPolicy
 from repro.util.errors import (
     AlreadyExistsError,
     ChirpError,

@@ -35,8 +35,9 @@ from repro.core.interface import FileHandle, Filesystem
 from repro.core.metastore import MetadataStore, VOLUME_FILE
 from repro.core.placement import PlacementPolicy, RoundRobinPlacement
 from repro.core.pool import ClientPool
-from repro.core.retry import RetryPolicy
 from repro.core.stubs import unique_data_name
+from repro.transport.fanout import DEFAULT_FANOUT, FanoutPool
+from repro.transport.recovery import RetryPolicy
 from repro.util.errors import (
     AlreadyExistsError,
     ChirpError,
@@ -87,13 +88,27 @@ class MultiStub:
 
 
 class ReplicatedHandle(FileHandle):
-    """An open replicated file: reads fail over, writes fan out."""
+    """An open replicated file: reads fail over, writes fan out.
 
-    def __init__(self, handles: list[ChirpFileHandle]):
+    Write-path fan-out (pwrite/fsync/ftruncate) pushes to every replica
+    **concurrently** through a :class:`FanoutPool`; each replica server
+    has its own connections at the transport layer, so write latency is
+    the slowest replica, not the sum.  Survivor bookkeeping (dropping
+    dead replicas, declaring the file unreachable) happens sequentially
+    after the parallel round, so the handle's replica list never mutates
+    under a worker.
+    """
+
+    def __init__(
+        self,
+        handles: list[ChirpFileHandle],
+        fanout: Optional[FanoutPool] = None,
+    ):
         if not handles:
             raise DoesNotExistError("no replica could be opened")
         self._handles = handles
         self.dropped = 0
+        self.fanout = fanout or FanoutPool(min(len(handles), DEFAULT_FANOUT))
 
     @property
     def degraded(self) -> bool:
@@ -113,6 +128,32 @@ class ReplicatedHandle(FileHandle):
         if not self._handles:
             raise DisconnectedError("every replica of this file is unreachable")
 
+    def _fanout_all(self, op) -> list:
+        """Run ``op(handle)`` on every replica concurrently.
+
+        Returns the successful results; replicas that raised
+        DisconnectedError are dropped afterwards (raising only when none
+        survive).  Other errors propagate.
+        """
+        snapshot = list(self._handles)
+
+        def attempt(handle: ChirpFileHandle):
+            try:
+                return (handle, op(handle), None)
+            except DisconnectedError as exc:
+                return (handle, None, exc)
+
+        outcomes = self.fanout.run([
+            (lambda h=h: attempt(h)) for h in snapshot
+        ])
+        results = []
+        for handle, result, exc in outcomes:
+            if exc is None:
+                results.append(result)
+            else:
+                self._survivors_after(handle)
+        return results
+
     def pread(self, length: int, offset: int) -> bytes:
         while True:
             handle = self._handles[0]
@@ -123,29 +164,16 @@ class ReplicatedHandle(FileHandle):
 
     def pwrite(self, data: bytes, offset: int) -> int:
         # Fan out; drop replicas that died, succeed if at least one took it.
-        written: Optional[int] = None
-        for handle in list(self._handles):
-            try:
-                written = handle.pwrite(data, offset)
-            except DisconnectedError:
-                self._survivors_after(handle)
-        if written is None:  # pragma: no cover - _survivors_after raises first
+        written = self._fanout_all(lambda h: h.pwrite(data, offset))
+        if not written:  # pragma: no cover - _survivors_after raises first
             raise DisconnectedError("write reached no replica")
-        return written
+        return written[0]
 
     def fsync(self) -> None:
-        for handle in list(self._handles):
-            try:
-                handle.fsync()
-            except DisconnectedError:
-                self._survivors_after(handle)
+        self._fanout_all(lambda h: h.fsync())
 
     def ftruncate(self, size: int) -> None:
-        for handle in list(self._handles):
-            try:
-                handle.ftruncate(size)
-            except DisconnectedError:
-                self._survivors_after(handle)
+        self._fanout_all(lambda h: h.ftruncate(size))
 
     def fstat(self) -> ChirpStat:
         while True:
@@ -175,6 +203,7 @@ class ReplicatedFS(Filesystem):
         copies: int = 2,
         placement: Optional[PlacementPolicy] = None,
         policy: Optional[RetryPolicy] = None,
+        fanout_workers: Optional[int] = None,
     ):
         if copies < 1:
             raise ValueError("copies must be >= 1")
@@ -187,6 +216,12 @@ class ReplicatedFS(Filesystem):
         self.copies = copies
         self.placement = placement or RoundRobinPlacement()
         self.policy = policy or RetryPolicy()
+        # Shared by every handle's replica fan-out; 1 forces serial pushes.
+        self.fanout = FanoutPool(
+            fanout_workers
+            if fanout_workers is not None
+            else min(self.copies, DEFAULT_FANOUT)
+        )
 
     # ------------------------------------------------------------------
     # plumbing
@@ -246,7 +281,7 @@ class ReplicatedFS(Filesystem):
             if missing == len(stub.locations):
                 raise DoesNotExistError(f"{path}: dangling stub (no data anywhere)")
             raise DisconnectedError(f"{path}: no replica reachable")
-        handle = ReplicatedHandle(handles)
+        handle = ReplicatedHandle(handles, fanout=self.fanout)
         handle.dropped = len(stub.locations) - len(handles)
         return handle
 
@@ -292,7 +327,7 @@ class ReplicatedFS(Filesystem):
                         pass
                 self.meta.unlink(path)
                 raise
-            return ReplicatedHandle(handles)
+            return ReplicatedHandle(handles, fanout=self.fanout)
         raise DisconnectedError(f"{path}: could not create replicated file")
 
     # ------------------------------------------------------------------
@@ -376,21 +411,26 @@ class ReplicatedFS(Filesystem):
                 continue
 
     def statfs(self) -> StatFs:
-        total = free = 0
-        reachable = 0
-        for host, port in self.servers:
+        def probe(host: str, port: int) -> Optional[StatFs]:
             client = self.pool.try_get(host, port)
             if client is None:
-                continue
+                return None
             try:
-                fs = client.statfs()
+                return client.statfs()
             except ChirpError:
-                continue
-            total += fs.total_bytes
-            free += fs.free_bytes
-            reachable += 1
-        if reachable == 0:
+                return None
+
+        reports = [
+            fs
+            for fs in self.fanout.run(
+                [(lambda ep=ep: probe(*ep)) for ep in self.servers]
+            )
+            if fs is not None
+        ]
+        if not reports:
             raise DisconnectedError("no data server reachable for statfs")
+        total = sum(fs.total_bytes for fs in reports)
+        free = sum(fs.free_bytes for fs in reports)
         # Usable capacity is divided by the replication factor.
         return StatFs(total // self.copies, free // self.copies)
 

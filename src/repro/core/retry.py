@@ -1,74 +1,14 @@
-"""Reconnection policy: exponential backoff with an attempt ceiling.
+"""Back-compat shim: reconnection policy now lives in the transport layer.
 
-"If the TCP connection to a server is lost ... the adapter responds by
+The exponential-backoff recovery behaviour ("the adapter responds by
 attempting to reconnect to the server with an exponentially increasing
-delay.  (Users may place an upper limit on these retries with a
-command-line argument.)"  This module is that behaviour, factored out so
-every handle type shares it and tests can drive it with a manual clock.
+delay") moved to :mod:`repro.transport.recovery` when connection
+lifecycle was centralized there; this module keeps the historical import
+path working.
 """
 
 from __future__ import annotations
 
-import threading
-from dataclasses import dataclass, field
-from typing import Callable, TypeVar
-
-from repro.util.clock import Clock, MonotonicClock
-from repro.util.errors import DisconnectedError
+from repro.transport.recovery import RetryPolicy
 
 __all__ = ["RetryPolicy"]
-
-T = TypeVar("T")
-
-
-@dataclass
-class RetryPolicy:
-    """How aggressively to recover from a lost server connection.
-
-    :ivar max_attempts: total tries (first try included); ``1`` disables
-        reconnection entirely -- the user-visible "upper limit" knob.
-    :ivar initial_delay: seconds before the first reconnect attempt.
-    :ivar multiplier: backoff factor between attempts.
-    :ivar max_delay: backoff ceiling.
-    """
-
-    max_attempts: int = 5
-    initial_delay: float = 0.05
-    multiplier: float = 2.0
-    max_delay: float = 30.0
-    clock: Clock = field(default_factory=MonotonicClock)
-
-    def delays(self):
-        """The sleep before each *re*-attempt (``max_attempts - 1`` values)."""
-        delay = self.initial_delay
-        for _ in range(max(0, self.max_attempts - 1)):
-            yield min(delay, self.max_delay)
-            delay *= self.multiplier
-
-    def run(
-        self,
-        operation: Callable[[], T],
-        recover: Callable[[], None],
-    ) -> T:
-        """Run ``operation``; on disconnect, back off, ``recover``, retry.
-
-        ``recover`` re-establishes whatever state the operation needs
-        (reconnect, re-open, verify inode); exceptions it raises other
-        than :class:`DisconnectedError` propagate immediately (e.g. a
-        stale-handle verdict must not be retried away).
-        """
-        delays = self.delays()
-        while True:
-            try:
-                return operation()
-            except DisconnectedError as exc:
-                delay = next(delays, None)
-                if delay is None:
-                    raise  # attempts exhausted: surface the disconnect
-                self.clock.sleep(delay)
-                try:
-                    recover()
-                except DisconnectedError:
-                    # Server still down: burn another attempt and keep
-                    # backing off rather than calling operation() doomed.
-                    continue

@@ -38,8 +38,9 @@ from repro.core.cfs import ChirpFileHandle
 from repro.core.interface import FileHandle, Filesystem
 from repro.core.metastore import MetadataStore, VOLUME_FILE
 from repro.core.pool import ClientPool
-from repro.core.retry import RetryPolicy
 from repro.core.stubs import unique_data_name
+from repro.transport.fanout import DEFAULT_FANOUT, FanoutPool
+from repro.transport.recovery import RetryPolicy
 from repro.util.errors import (
     AlreadyExistsError,
     ChirpError,
@@ -152,18 +153,27 @@ class StripeStub:
 class StripedHandle(FileHandle):
     """An open striped file: extents scatter/gather across stripe handles.
 
-    Reads spanning several stripes are fetched **in parallel**, one worker
-    per stripe server -- each stripe has its own TCP connection, so a wide
-    read aggregates the servers' bandwidth, which is the point of
-    striping.  Writes fan out sequentially (simpler, and write ordering
-    within one handle stays obvious).
+    Reads *and* writes spanning several stripes run **in parallel**
+    through the filesystem's :class:`FanoutPool` -- each stripe server
+    has its own connections at the transport layer, so a wide extent
+    aggregates the servers' bandwidth, which is the point of striping.
+    Pieces landing on the same stripe keep their logical order (one
+    worker walks each stripe's piece list), so per-stripe write ordering
+    within one handle stays obvious.  A pool sized to one worker degrades
+    to serial execution -- the forced-serial arm of the striping ablation.
     """
 
-    def __init__(self, handles: list[ChirpFileHandle], stripe_size: int):
+    def __init__(
+        self,
+        handles: list[ChirpFileHandle],
+        stripe_size: int,
+        fanout: Optional[FanoutPool] = None,
+    ):
         if not handles:
             raise DoesNotExistError("no stripe could be opened")
         self._handles = handles
         self.stripe_size = stripe_size
+        self.fanout = fanout or FanoutPool(min(len(handles), DEFAULT_FANOUT))
 
     @property
     def width(self) -> int:
@@ -186,18 +196,9 @@ class StripedHandle(FileHandle):
                 if len(data) < piece:
                     break  # EOF in this stripe; later pieces are past it
 
-        if len(by_stripe) <= 1:
-            for stripe in by_stripe:
-                fetch(stripe)
-        else:
-            import concurrent.futures
-
-            with concurrent.futures.ThreadPoolExecutor(
-                max_workers=len(by_stripe)
-            ) as pool:
-                futures = [pool.submit(fetch, s) for s in by_stripe]
-                for f in futures:
-                    f.result()  # propagate the first stripe failure
+        self.fanout.run([
+            (lambda s=stripe: fetch(s)) for stripe in by_stripe
+        ])
 
         # reassemble while contiguous; stop at the first gap/short piece
         out = []
@@ -214,19 +215,26 @@ class StripedHandle(FileHandle):
 
     def pwrite(self, data: bytes, offset: int) -> int:
         view = memoryview(data)
-        written = 0
-        for stripe, inner, piece, logical in map_extent(
-            offset, len(data), self.width, self.stripe_size
-        ):
-            start = logical - offset
-            written += self._handles[stripe].pwrite(
-                bytes(view[start : start + piece]), inner
-            )
-        return written
+        by_stripe: dict[int, list] = {}
+        for item in map_extent(offset, len(data), self.width, self.stripe_size):
+            by_stripe.setdefault(item[0], []).append(item)
+
+        def push(stripe: int) -> int:
+            handle = self._handles[stripe]
+            done = 0
+            for _s, inner, piece, logical in by_stripe[stripe]:
+                start = logical - offset
+                done += handle.pwrite(bytes(view[start : start + piece]), inner)
+            return done
+
+        return sum(
+            self.fanout.run([(lambda s=stripe: push(s)) for stripe in by_stripe])
+        )
 
     def fsync(self) -> None:
-        for handle in self._handles:
-            handle.fsync()
+        self.fanout.run([
+            (lambda h=handle: h.fsync()) for handle in self._handles
+        ])
 
     def fstat(self) -> ChirpStat:
         stats = [h.fstat() for h in self._handles]
@@ -276,6 +284,7 @@ class StripedFS(Filesystem):
         stripe_size: int = DEFAULT_STRIPE_SIZE,
         stripes: Optional[int] = None,
         policy: Optional[RetryPolicy] = None,
+        fanout_workers: Optional[int] = None,
     ):
         if stripe_size < 1:
             raise ValueError("stripe_size must be positive")
@@ -288,6 +297,13 @@ class StripedFS(Filesystem):
         self.data_dir = normalize_virtual(data_dir)
         self.stripe_size = stripe_size
         self.policy = policy or RetryPolicy()
+        # Shared by every handle; 1 forces serial stripe I/O (the
+        # ablation baseline).
+        self.fanout = FanoutPool(
+            fanout_workers
+            if fanout_workers is not None
+            else min(self.stripes, DEFAULT_FANOUT)
+        )
         self._rotation = 0
 
     @staticmethod
@@ -320,7 +336,7 @@ class StripedFS(Filesystem):
                 except ChirpError:
                     pass
             raise
-        return StripedHandle(handles, stub.stripe_size)
+        return StripedHandle(handles, stub.stripe_size, fanout=self.fanout)
 
     def _is_dir(self, path: str) -> bool:
         try:
@@ -376,18 +392,21 @@ class StripedFS(Filesystem):
         if mst.is_dir:
             return mst
         stub = self._read_stub(path)
-        logical_size = 0
-        newest = 0
-        for host, port, data_path in stub.locations:
+
+        def stat_stripe(host: str, port: int, data_path: str) -> ChirpStat:
             client = self.pool.get(host, port)
-            try:
-                dst = self.policy.run(
-                    lambda c=client, p=data_path: c.stat(p), client.ensure_connected
-                )
-            except DoesNotExistError:
-                raise DoesNotExistError(f"{path}: dangling stripe stub") from None
-            logical_size += dst.size
-            newest = max(newest, dst.mtime)
+            return self.policy.run(
+                lambda: client.stat(data_path), client.ensure_connected
+            )
+
+        try:
+            stats = self.fanout.run([
+                (lambda loc=loc: stat_stripe(*loc)) for loc in stub.locations
+            ])
+        except DoesNotExistError:
+            raise DoesNotExistError(f"{path}: dangling stripe stub") from None
+        logical_size = sum(dst.size for dst in stats)
+        newest = max(dst.mtime for dst in stats)
         return ChirpStat(
             device=mst.device,
             inode=mst.inode,
@@ -442,19 +461,25 @@ class StripedFS(Filesystem):
             self.pool.get(host, port).truncate(data_path, target)
 
     def statfs(self) -> StatFs:
-        total = free = 0
-        reachable = 0
-        for host, port in self.servers:
+        def probe(host: str, port: int) -> Optional[StatFs]:
             client = self.pool.try_get(host, port)
             if client is None:
-                continue
+                return None
             try:
-                fs = client.statfs()
+                return client.statfs()
             except ChirpError:
-                continue
-            total += fs.total_bytes
-            free += fs.free_bytes
-            reachable += 1
-        if reachable == 0:
+                return None
+
+        reports = [
+            fs
+            for fs in self.fanout.run(
+                [(lambda ep=ep: probe(*ep)) for ep in self.servers]
+            )
+            if fs is not None
+        ]
+        if not reports:
             raise DisconnectedError("no data server reachable for statfs")
-        return StatFs(total, free)
+        return StatFs(
+            sum(fs.total_bytes for fs in reports),
+            sum(fs.free_bytes for fs in reports),
+        )

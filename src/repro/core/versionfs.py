@@ -39,7 +39,7 @@ from repro.core.interface import FileHandle, Filesystem
 from repro.core.metastore import MetadataStore, VOLUME_FILE
 from repro.core.placement import PlacementPolicy, RoundRobinPlacement
 from repro.core.pool import ClientPool
-from repro.core.retry import RetryPolicy
+from repro.transport.recovery import RetryPolicy
 from repro.core.stubs import unique_data_name
 from repro.util.errors import (
     AlreadyExistsError,

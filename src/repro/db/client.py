@@ -1,22 +1,29 @@
-"""Client for the metadata-database server."""
+"""Client for the metadata-database server.
+
+Rides the same transport layer as the file-server client: a
+:class:`~repro.transport.endpoint.Endpoint` owns the sockets,
+reconnect bookkeeping and per-verb metrics (``db.insert``,
+``db.query``, ...), and this class supplies the command vocabulary.
+Database exchanges are stateless (no fds), so every call checks a
+connection out for exactly one round trip and concurrent callers
+overlap up to the endpoint's connection cap.
+"""
 
 from __future__ import annotations
 
 import json
-import socket
-import threading
 from typing import Optional
 
-from repro.auth.methods import ClientCredentials, authenticate_client
+from repro.auth.methods import ClientCredentials
 from repro.db.query import Query
-from repro.util.errors import DisconnectedError, error_from_status
-from repro.util.wire import LineStream
+from repro.transport.endpoint import Endpoint
+from repro.transport.metrics import MetricsRegistry
 
 __all__ = ["DatabaseClient"]
 
 
 class DatabaseClient:
-    """A connection to one :class:`~repro.db.server.DatabaseServer`."""
+    """A session with one :class:`~repro.db.server.DatabaseServer`."""
 
     def __init__(
         self,
@@ -24,40 +31,41 @@ class DatabaseClient:
         port: int,
         credentials: Optional[ClientCredentials] = None,
         timeout: float = 30.0,
+        endpoint: Optional[Endpoint] = None,
+        metrics: Optional[MetricsRegistry] = None,
     ):
-        self.host = host
-        self.port = port
-        self.credentials = credentials or ClientCredentials()
-        self.timeout = timeout
-        self._lock = threading.RLock()
-        self._stream: Optional[LineStream] = None
-        self.subject: Optional[str] = None
+        if endpoint is None:
+            kwargs = {}
+            if metrics is not None:
+                kwargs["metrics"] = metrics
+            endpoint = Endpoint(
+                host, int(port), credentials=credentials, timeout=timeout, **kwargs
+            )
+        self.endpoint = endpoint
+        self.host = endpoint.host
+        self.port = endpoint.port
+        self.credentials = endpoint.credentials
+        self.timeout = endpoint.timeout
         self.connect()
 
+    @property
+    def subject(self) -> Optional[str]:
+        return self.endpoint.subject
+
+    @property
+    def is_connected(self) -> bool:
+        return self.endpoint.is_connected
+
+    @property
+    def _stream(self):
+        """One live connection's raw stream (protocol tests poke the wire)."""
+        return self.endpoint.raw_stream()
+
     def connect(self) -> None:
-        with self._lock:
-            self.close()
-            try:
-                sock = socket.create_connection(
-                    (self.host, self.port), timeout=self.timeout
-                )
-            except OSError as exc:
-                raise DisconnectedError(
-                    f"connect to db {self.host}:{self.port} failed: {exc}"
-                ) from exc
-            stream = LineStream(sock)
-            try:
-                self.subject = authenticate_client(stream, self.credentials)
-            except Exception:
-                stream.close()
-                raise
-            self._stream = stream
+        self.endpoint.connect()
 
     def close(self) -> None:
-        with self._lock:
-            if self._stream is not None:
-                self._stream.close()
-                self._stream = None
+        self.endpoint.close()
 
     def __enter__(self) -> "DatabaseClient":
         return self
@@ -66,19 +74,14 @@ class DatabaseClient:
         self.close()
 
     def _call(self, cmd: dict) -> dict:
-        with self._lock:
-            if self._stream is None:
-                raise DisconnectedError("db client is not connected")
-            try:
-                self._stream.write_line("dbcmd", json.dumps(cmd))
-                reply = self._stream.read_tokens()
-            except DisconnectedError:
-                self.close()
-                raise
-            status = int(reply[0])
-            if status < 0:
-                raise error_from_status(status, reply[1] if len(reply) > 1 else "")
-            return json.loads(reply[1])
+        conn = self.endpoint.checkout()
+        try:
+            reply = conn.rpc(
+                "dbcmd", json.dumps(cmd), metric=f"db.{cmd.get('op', 'cmd')}"
+            )
+        finally:
+            self.endpoint.checkin(conn)
+        return json.loads(reply[1])
 
     # -- typed operations -------------------------------------------------
 

@@ -1,0 +1,40 @@
+"""The unified transport layer beneath every abstraction.
+
+The paper separates *abstractions* (CFS, DPFS, DSFS, DSDB, striping,
+replication, versioning) from *resources* (file servers, catalogs,
+databases).  This package is the seam between them on the client side:
+everything that dials sockets, keeps TCP channels warm, recovers from
+disconnects, and measures the I/O path lives here -- abstractions above
+it never construct a socket or own a backoff loop.
+
+Layering::
+
+    abstractions   cfs/dpfs/dsfs/stripefs/replfs/versionfs/dsdb
+    sessions       ChirpClient / DatabaseClient  (fd + verb semantics)
+    this package   Endpoint(Manager), Connection, RetryPolicy,
+                   MetricsRegistry, FanoutPool
+    resources      file servers, database servers, catalogs
+
+See DESIGN.md, "Transport layer".
+"""
+
+from repro.transport.connection import Connection
+from repro.transport.dial import oneshot_exchange
+from repro.transport.endpoint import DEFAULT_MAX_CONNS, Endpoint, EndpointManager
+from repro.transport.fanout import DEFAULT_FANOUT, FanoutPool
+from repro.transport.metrics import LatencyHistogram, MetricsRegistry, default_registry
+from repro.transport.recovery import RetryPolicy
+
+__all__ = [
+    "Connection",
+    "DEFAULT_FANOUT",
+    "DEFAULT_MAX_CONNS",
+    "Endpoint",
+    "EndpointManager",
+    "FanoutPool",
+    "LatencyHistogram",
+    "MetricsRegistry",
+    "RetryPolicy",
+    "default_registry",
+    "oneshot_exchange",
+]

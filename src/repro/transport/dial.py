@@ -1,0 +1,66 @@
+"""One-shot exchanges for protocols without a session.
+
+The catalog speaks the simplest possible protocol: connect, send one
+request line, read the whole reply until EOF.  There is no
+authentication and nothing worth keeping warm, so it does not get an
+:class:`~repro.transport.endpoint.Endpoint`; it still routes through
+the transport layer so that socket construction, error mapping and
+metrics stay in one place.
+"""
+
+from __future__ import annotations
+
+import socket
+import time
+from typing import Optional
+
+from repro.transport.metrics import MetricsRegistry, default_registry
+from repro.util.errors import DisconnectedError, TimedOutError
+
+__all__ = ["oneshot_exchange"]
+
+
+def oneshot_exchange(
+    host: str,
+    port: int,
+    request: bytes,
+    timeout: float = 10.0,
+    metric: str = "oneshot",
+    metrics: Optional[MetricsRegistry] = None,
+) -> bytes:
+    """Dial, send ``request``, read until the peer closes; metered.
+
+    Maps socket failures to :class:`TimedOutError` /
+    :class:`DisconnectedError` like every other transport path.
+    """
+    registry = metrics if metrics is not None else default_registry()
+    label = f"{host}:{port}"
+    start = time.perf_counter()
+    bytes_in = 0
+    error = True
+    try:
+        try:
+            with socket.create_connection((host, int(port)), timeout=timeout) as sock:
+                sock.sendall(request)
+                chunks = []
+                while True:
+                    data = sock.recv(65536)
+                    if not data:
+                        break
+                    chunks.append(data)
+                    bytes_in += len(data)
+        except socket.timeout as exc:
+            raise TimedOutError(f"{metric} to {label}") from exc
+        except OSError as exc:
+            raise DisconnectedError(f"{metric} to {label}: {exc}") from exc
+        error = False
+        return b"".join(chunks)
+    finally:
+        registry.observe(
+            metric,
+            time.perf_counter() - start,
+            bytes_in=bytes_in,
+            bytes_out=len(request),
+            error=error,
+            endpoint=label,
+        )

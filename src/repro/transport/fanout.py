@@ -1,0 +1,87 @@
+"""Bounded worker pool for fan-out RPCs.
+
+Striping, replication and multi-server aggregation all have the same
+shape: issue the same kind of RPC against several servers and wait for
+all of them.  With the endpoint layer holding multiple connections per
+server, those RPCs genuinely overlap -- the workers here are what issues
+them concurrently.
+
+The pool is bounded (never more threads than ``max_workers``), lazy
+(threads exist only after the first parallel call), and degrades to
+inline execution for single tasks or when sized to one worker -- which
+is also the forced-serial configuration the striping ablation measures
+against.
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from typing import Callable, Optional, Sequence, TypeVar
+
+__all__ = ["FanoutPool"]
+
+T = TypeVar("T")
+
+DEFAULT_FANOUT = 8
+
+
+class FanoutPool:
+    """A small, lazily created thread pool that runs task lists to completion.
+
+    ``run`` preserves task order in its result list and always waits for
+    every task before returning (no work left running after an error);
+    the first exception, in task order, is re-raised.
+    """
+
+    def __init__(self, max_workers: int = DEFAULT_FANOUT):
+        if max_workers < 1:
+            raise ValueError("max_workers must be >= 1")
+        self.max_workers = max_workers
+        self._executor: Optional[ThreadPoolExecutor] = None
+        self._lock = threading.Lock()
+
+    @property
+    def serial(self) -> bool:
+        return self.max_workers == 1
+
+    def _ensure_executor(self) -> ThreadPoolExecutor:
+        with self._lock:
+            if self._executor is None:
+                self._executor = ThreadPoolExecutor(
+                    max_workers=self.max_workers,
+                    thread_name_prefix="tss-fanout",
+                )
+            return self._executor
+
+    def run(self, tasks: Sequence[Callable[[], T]]) -> list[T]:
+        """Run every task; return their results in task order."""
+        if not tasks:
+            return []
+        if self.serial or len(tasks) == 1:
+            return [task() for task in tasks]
+        executor = self._ensure_executor()
+        futures = [executor.submit(task) for task in tasks]
+        results: list = [None] * len(futures)
+        first_error: Optional[BaseException] = None
+        for i, future in enumerate(futures):
+            try:
+                results[i] = future.result()
+            except BaseException as exc:  # noqa: BLE001 - re-raised below
+                if first_error is None:
+                    first_error = exc
+        if first_error is not None:
+            raise first_error
+        return results
+
+    def shutdown(self) -> None:
+        with self._lock:
+            executor, self._executor = self._executor, None
+        if executor is not None:
+            executor.shutdown(wait=False)
+
+    def __enter__(self) -> "FanoutPool":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.shutdown()

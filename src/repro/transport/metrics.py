@@ -1,0 +1,171 @@
+"""Per-verb RPC metrics for the transport layer.
+
+Every RPC that crosses a :class:`~repro.transport.connection.Connection`
+is observed here: one call count, an error flag, bytes in/out, and a
+latency sample into a log-scale histogram.  The registry is pluggable --
+every transport object accepts one, defaulting to a process-wide
+registry -- so an operator can read aggregate behaviour after any run
+(``snapshot()``) while tests inject a fresh registry and assert on it.
+
+The Lustre-audit lesson (PAPERS.md): an uninstrumented I/O path is
+invisible at scale.  Recording happens under one short lock per sample;
+no allocation beyond the first observation of a verb.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Optional
+
+__all__ = ["MetricsRegistry", "LatencyHistogram", "default_registry"]
+
+# Log-scale bucket upper bounds in seconds: 1us .. ~17s, then +inf.
+_BUCKET_BOUNDS = tuple(1e-6 * 4**i for i in range(13))
+
+
+class LatencyHistogram:
+    """Fixed log-scale latency histogram with cheap percentile estimates.
+
+    Not thread-safe on its own; the owning registry serializes access.
+    """
+
+    __slots__ = ("counts", "overflow", "count", "total", "min", "max")
+
+    def __init__(self):
+        self.counts = [0] * len(_BUCKET_BOUNDS)
+        self.overflow = 0
+        self.count = 0
+        self.total = 0.0
+        self.min: Optional[float] = None
+        self.max = 0.0
+
+    def observe(self, seconds: float) -> None:
+        self.count += 1
+        self.total += seconds
+        if self.min is None or seconds < self.min:
+            self.min = seconds
+        if seconds > self.max:
+            self.max = seconds
+        for i, bound in enumerate(_BUCKET_BOUNDS):
+            if seconds <= bound:
+                self.counts[i] += 1
+                return
+        self.overflow += 1
+
+    def percentile(self, p: float) -> float:
+        """Estimated latency at percentile ``p`` (0-100): the upper bound
+        of the bucket containing that rank, clamped to the observed max."""
+        if self.count == 0:
+            return 0.0
+        rank = max(1, int(round(self.count * p / 100.0)))
+        cumulative = 0
+        for i, n in enumerate(self.counts):
+            cumulative += n
+            if cumulative >= rank:
+                return min(_BUCKET_BOUNDS[i], self.max)
+        return self.max
+
+    def snapshot(self) -> dict:
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "min": self.min or 0.0,
+            "max": self.max,
+            "mean": (self.total / self.count) if self.count else 0.0,
+            "p50": self.percentile(50),
+            "p95": self.percentile(95),
+            "p99": self.percentile(99),
+            "buckets": {
+                **{f"le_{bound:g}": n for bound, n in zip(_BUCKET_BOUNDS, self.counts)},
+                "overflow": self.overflow,
+            },
+        }
+
+
+class _VerbStats:
+    __slots__ = ("calls", "errors", "bytes_in", "bytes_out", "latency")
+
+    def __init__(self):
+        self.calls = 0
+        self.errors = 0
+        self.bytes_in = 0
+        self.bytes_out = 0
+        self.latency = LatencyHistogram()
+
+
+class MetricsRegistry:
+    """Thread-safe per-verb RPC statistics with a ``snapshot()`` API."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._verbs: dict[str, _VerbStats] = {}
+        self._endpoints: dict[str, dict[str, int]] = {}
+
+    def observe(
+        self,
+        verb: str,
+        seconds: float,
+        *,
+        bytes_in: int = 0,
+        bytes_out: int = 0,
+        error: bool = False,
+        endpoint: Optional[str] = None,
+    ) -> None:
+        """Record one completed RPC (successful or failed)."""
+        with self._lock:
+            stats = self._verbs.get(verb)
+            if stats is None:
+                stats = self._verbs[verb] = _VerbStats()
+            stats.calls += 1
+            if error:
+                stats.errors += 1
+            stats.bytes_in += bytes_in
+            stats.bytes_out += bytes_out
+            stats.latency.observe(seconds)
+            if endpoint is not None:
+                ep = self._endpoints.get(endpoint)
+                if ep is None:
+                    ep = self._endpoints[endpoint] = {"calls": 0, "errors": 0}
+                ep["calls"] += 1
+                if error:
+                    ep["errors"] += 1
+
+    def snapshot(self) -> dict:
+        """Point-in-time copy of everything recorded so far.
+
+        Shape::
+
+            {"verbs": {verb: {"calls", "errors", "bytes_in", "bytes_out",
+                              "latency": {"count", "sum", "min", "max",
+                                          "mean", "p50", "p95", "p99",
+                                          "buckets": {...}}}},
+             "endpoints": {"host:port": {"calls", "errors"}}}
+        """
+        with self._lock:
+            return {
+                "verbs": {
+                    verb: {
+                        "calls": s.calls,
+                        "errors": s.errors,
+                        "bytes_in": s.bytes_in,
+                        "bytes_out": s.bytes_out,
+                        "latency": s.latency.snapshot(),
+                    }
+                    for verb, s in self._verbs.items()
+                },
+                "endpoints": {ep: dict(v) for ep, v in self._endpoints.items()},
+            }
+
+    def reset(self) -> None:
+        """Drop all recorded data (e.g. between benchmark phases)."""
+        with self._lock:
+            self._verbs.clear()
+            self._endpoints.clear()
+
+
+_default = MetricsRegistry()
+
+
+def default_registry() -> MetricsRegistry:
+    """The process-wide registry used when none is injected."""
+    return _default

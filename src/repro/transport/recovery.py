@@ -1,0 +1,102 @@
+"""Reconnection policy: exponential backoff with an attempt ceiling.
+
+"If the TCP connection to a server is lost ... the adapter responds by
+attempting to reconnect to the server with an exponentially increasing
+delay.  (Users may place an upper limit on these retries with a
+command-line argument.)"  This module is that behaviour.  It lives in the
+transport layer so every session type (Chirp, database) and every handle
+shares one recovery discipline; :mod:`repro.core.retry` re-exports it for
+older imports.
+
+Optional decorrelated jitter (``jitter=True``) spreads mass reconnects
+after a server restart: instead of every client sleeping the same
+deterministic sequence and stampeding the freshly restarted server in
+lockstep, each delay is drawn uniformly from ``[initial_delay,
+3 * previous_delay]``, capped at ``max_delay``.  The RNG is injectable
+(like ``clock``) so tests pin the sequence with a seed.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Optional, TypeVar
+
+from repro.util.clock import Clock, MonotonicClock
+from repro.util.errors import DisconnectedError
+
+__all__ = ["RetryPolicy"]
+
+T = TypeVar("T")
+
+
+@dataclass
+class RetryPolicy:
+    """How aggressively to recover from a lost server connection.
+
+    :ivar max_attempts: total tries (first try included); ``1`` disables
+        reconnection entirely -- the user-visible "upper limit" knob.
+    :ivar initial_delay: seconds before the first reconnect attempt.
+    :ivar multiplier: backoff factor between attempts (ignored when
+        ``jitter`` is on; the jitter recurrence replaces it).
+    :ivar max_delay: backoff ceiling.
+    :ivar jitter: draw decorrelated-jitter delays instead of the fixed
+        exponential sequence.
+    :ivar rng: random source for jitter; inject a seeded
+        :class:`random.Random` for deterministic tests.
+    """
+
+    max_attempts: int = 5
+    initial_delay: float = 0.05
+    multiplier: float = 2.0
+    max_delay: float = 30.0
+    jitter: bool = False
+    rng: Optional[random.Random] = None
+    clock: Clock = field(default_factory=MonotonicClock)
+
+    def delays(self):
+        """The sleep before each *re*-attempt (``max_attempts - 1`` values)."""
+        if self.jitter:
+            yield from self._jittered_delays()
+            return
+        delay = self.initial_delay
+        for _ in range(max(0, self.max_attempts - 1)):
+            yield min(delay, self.max_delay)
+            delay *= self.multiplier
+
+    def _jittered_delays(self):
+        rng = self.rng if self.rng is not None else random.Random()
+        delay = self.initial_delay
+        for _ in range(max(0, self.max_attempts - 1)):
+            delay = min(delay, self.max_delay)
+            yield delay
+            # AWS-style decorrelated jitter: next in [base, 3 * previous].
+            delay = rng.uniform(self.initial_delay, delay * 3)
+
+    def run(
+        self,
+        operation: Callable[[], T],
+        recover: Callable[[], None],
+    ) -> T:
+        """Run ``operation``; on disconnect, back off, ``recover``, retry.
+
+        ``recover`` re-establishes whatever state the operation needs
+        (reconnect, re-open, verify inode); exceptions it raises other
+        than :class:`DisconnectedError` propagate immediately (e.g. a
+        stale-handle verdict must not be retried away).
+        """
+        delays = self.delays()
+        while True:
+            try:
+                return operation()
+            except DisconnectedError as exc:
+                delay = next(delays, None)
+                if delay is None:
+                    raise  # attempts exhausted: surface the disconnect
+                self.clock.sleep(delay)
+                try:
+                    recover()
+                except DisconnectedError:
+                    # Server still down: burn another attempt and keep
+                    # backing off rather than calling operation() doomed.
+                    continue

@@ -1,0 +1,205 @@
+"""Integration tests for the transport layer against live servers.
+
+The load-bearing claims: one client session may hold several connections
+to one server; concurrent threads through that session never cross fds
+or generations; the generation still advances exactly once per
+reconnect; and the endpoint manager owns lifecycle (evict/close_all).
+"""
+
+import threading
+
+import pytest
+
+from repro.chirp.client import ChirpClient
+from repro.core.pool import ClientPool
+from repro.transport.endpoint import Endpoint, EndpointManager
+from repro.transport.metrics import MetricsRegistry
+from repro.util import errors as E
+
+
+class TestEndpointElasticity:
+    def test_grows_only_under_concurrency(self, file_server, credentials):
+        ep = Endpoint(*file_server.address, credentials=credentials, max_conns=4)
+        ep.connect()
+        assert ep.live_count == 1
+        # Serial checkouts never need a second connection.
+        for _ in range(10):
+            conn = ep.checkout()
+            ep.checkin(conn)
+        assert ep.live_count == 1
+        # Holding one connection busy makes the next checkout dial.
+        first = ep.checkout()
+        second = ep.checkout()
+        assert second is not first
+        assert ep.live_count == 2
+        ep.checkin(first)
+        ep.checkin(second)
+        ep.close()
+
+    def test_growth_respects_the_cap(self, file_server, credentials):
+        ep = Endpoint(*file_server.address, credentials=credentials, max_conns=2)
+        ep.connect()
+        held = [ep.checkout() for _ in range(6)]
+        assert ep.live_count <= 2
+        # Checkout past the cap oversubscribes instead of blocking.
+        assert len({id(c) for c in held}) <= 2
+        for c in held:
+            ep.checkin(c)
+        ep.close()
+
+    def test_checkout_when_dead_raises_not_dials(self, file_server, credentials):
+        ep = Endpoint(*file_server.address, credentials=credentials)
+        ep.connect()
+        gen = ep.generation
+        ep.close()
+        with pytest.raises(E.DisconnectedError):
+            ep.checkout()
+        # Recovery is explicit; nothing reconnected behind our back.
+        assert ep.generation == gen
+        assert not ep.is_connected
+
+    def test_generation_bumps_once_per_reconnect(self, file_server, credentials):
+        ep = Endpoint(*file_server.address, credentials=credentials)
+        ep.connect()
+        gen = ep.generation
+        ep.close()
+        # Many racers noticing the same death: one dial, one bump.
+        threads = [
+            threading.Thread(target=ep.ensure_connected) for _ in range(8)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=10)
+        assert ep.generation == gen + 1
+        assert ep.live_count == 1
+        ep.close()
+
+
+class TestManyThreadsOneEndpoint:
+    def test_no_fd_or_generation_cross_talk(self, file_server, credentials):
+        """N threads hammer one session: every thread's fds stay its own."""
+        metrics = MetricsRegistry()
+        client = ChirpClient(
+            *file_server.address,
+            credentials=credentials,
+            timeout=10.0,
+            max_conns=4,
+            metrics=metrics,
+        )
+        gen_before = client.generation
+        n_threads = 8
+        rounds = 25
+        errors = []
+
+        def hammer(tid: int) -> None:
+            try:
+                payload = bytes([tid]) * 512
+                for r in range(rounds):
+                    fd = client.open(f"/t{tid}-{r}", "rwc")
+                    assert client.pwrite(fd, payload, 0) == len(payload)
+                    back = client.pread(fd, len(payload), 0)
+                    # Cross-talk would interleave another thread's byte.
+                    assert back == payload, f"thread {tid} read foreign bytes"
+                    client.fsync(fd)
+                    assert client.fstat(fd).size == len(payload)
+                    client.close_fd(fd)
+            except Exception as exc:  # noqa: BLE001 - surfaced below
+                errors.append((tid, exc))
+
+        threads = [
+            threading.Thread(target=hammer, args=(tid,)) for tid in range(n_threads)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=60)
+        assert not errors, errors
+        # No reconnect happened, so no generation movement.
+        assert client.generation == gen_before
+        # The endpoint actually multiplexed: concurrency forced growth.
+        assert client.endpoint.live_count > 1
+        snap = metrics.snapshot()
+        assert snap["verbs"]["open"]["calls"] == n_threads * rounds
+        assert snap["verbs"]["pwrite"]["bytes_out"] >= n_threads * rounds * 512
+        client.close()
+
+    def test_fd_on_dead_connection_is_disconnect_not_badfd(
+        self, server_factory, credentials
+    ):
+        server = server_factory.new()
+        client = ChirpClient(*server.address, credentials=credentials, timeout=5.0)
+        fd = client.open("/f", "rwc")
+        client.pwrite(fd, b"x", 0)
+        server.stop()
+        with pytest.raises(E.DisconnectedError):
+            for _ in range(3):  # server death may take one probe to notice
+                client.pread(fd, 1, 0)
+        # And probing again keeps reading as a disconnect, never BAD_FD.
+        with pytest.raises(E.DisconnectedError):
+            client.pread(fd, 1, 0)
+        client.close()
+
+
+class TestEndpointManager:
+    def test_endpoints_are_cached_and_counted(self, server_factory, credentials):
+        s1, s2 = server_factory.new(), server_factory.new()
+        with EndpointManager(credentials=credentials, timeout=5.0) as mgr:
+            a = mgr.endpoint(*s1.address)
+            b = mgr.endpoint(*s2.address)
+            assert a is mgr.endpoint(*s1.address)
+            assert a is not b
+            assert len(mgr) == 2
+
+    def test_evict_forgets_the_endpoint(self, file_server, credentials):
+        mgr = EndpointManager(credentials=credentials, timeout=5.0)
+        ep = mgr.endpoint(*file_server.address)
+        ep.connect()
+        mgr.evict(*file_server.address)
+        assert len(mgr) == 0
+        assert not ep.is_connected
+        assert mgr.endpoint(*file_server.address) is not ep
+        mgr.close_all()
+
+    def test_close_all_drops_every_connection(self, server_factory, credentials):
+        servers = [server_factory.new() for _ in range(3)]
+        mgr = EndpointManager(credentials=credentials, timeout=5.0)
+        eps = [mgr.endpoint(*s.address) for s in servers]
+        for ep in eps:
+            ep.connect()
+        mgr.close_all()
+        assert len(mgr) == 0
+        assert all(not ep.is_connected for ep in eps)
+
+
+class TestClientPoolFacade:
+    def test_context_manager_closes_sessions(self, server_factory, credentials):
+        servers = [server_factory.new() for _ in range(2)]
+        with ClientPool(credentials, timeout=5.0) as pool:
+            clients = [pool.get(*s.address) for s in servers]
+            assert all(c.is_connected for c in clients)
+            assert len(pool) == 2
+        assert all(not c.is_connected for c in clients)
+        assert len(pool) == 0
+
+    def test_evict_then_get_dials_fresh(self, file_server, credentials):
+        pool = ClientPool(credentials, timeout=5.0)
+        before = pool.get(*file_server.address)
+        pool.evict(*file_server.address)
+        assert not before.is_connected
+        after = pool.get(*file_server.address)
+        assert after is not before
+        assert after.is_connected
+        pool.close_all()
+
+    def test_pool_metrics_observe_traffic(self, file_server, credentials):
+        metrics = MetricsRegistry()
+        with ClientPool(credentials, timeout=5.0, metrics=metrics) as pool:
+            client = pool.get(*file_server.address)
+            client.putfile("/m", b"abc")
+            assert client.getfile("/m") == b"abc"
+        snap = metrics.snapshot()
+        assert snap["verbs"]["putfile"]["calls"] == 1
+        assert snap["verbs"]["getfile"]["bytes_in"] == 3
+        label = "%s:%d" % file_server.address
+        assert snap["endpoints"][label]["calls"] >= 2

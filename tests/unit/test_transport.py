@@ -1,0 +1,182 @@
+"""Unit tests for the transport layer: metrics, jittered recovery, fan-out."""
+
+import random
+
+import pytest
+
+from repro.transport.fanout import FanoutPool
+from repro.transport.metrics import LatencyHistogram, MetricsRegistry, default_registry
+from repro.transport.recovery import RetryPolicy
+from repro.util.clock import ManualClock
+from repro.util.errors import DisconnectedError
+
+
+class TestLatencyHistogram:
+    def test_counts_and_percentiles(self):
+        hist = LatencyHistogram()
+        for value in (0.001, 0.002, 0.004, 0.100):
+            hist.observe(value)
+        snap = hist.snapshot()
+        assert snap["count"] == 4
+        assert snap["min"] == pytest.approx(0.001)
+        assert snap["max"] == pytest.approx(0.100)
+        # p50 falls in a bucket covering the small observations, p99 in
+        # one covering the slowest.
+        assert snap["p50"] <= snap["p95"] <= snap["p99"]
+        assert snap["p99"] >= 0.01
+
+    def test_empty_histogram(self):
+        snap = LatencyHistogram().snapshot()
+        assert snap["count"] == 0
+        assert snap["p50"] == 0.0
+
+
+class TestMetricsRegistry:
+    def test_snapshot_per_verb(self):
+        reg = MetricsRegistry()
+        reg.observe("pread", 0.002, bytes_in=4096, endpoint="h:1")
+        reg.observe("pread", 0.004, bytes_in=4096, endpoint="h:1")
+        reg.observe("pwrite", 0.003, bytes_out=8192, endpoint="h:1")
+        reg.observe("pwrite", 0.500, bytes_out=100, error=True, endpoint="h:2")
+        snap = reg.snapshot()
+
+        pread = snap["verbs"]["pread"]
+        assert pread["calls"] == 2
+        assert pread["errors"] == 0
+        assert pread["bytes_in"] == 8192
+        assert pread["bytes_out"] == 0
+        assert pread["latency"]["count"] == 2
+
+        pwrite = snap["verbs"]["pwrite"]
+        assert pwrite["calls"] == 2
+        assert pwrite["errors"] == 1
+        assert pwrite["bytes_out"] == 8292
+        assert pwrite["latency"]["p99"] >= 0.1
+
+    def test_snapshot_per_endpoint_rollup(self):
+        reg = MetricsRegistry()
+        reg.observe("stat", 0.001, endpoint="a:1")
+        reg.observe("stat", 0.001, endpoint="a:1")
+        reg.observe("stat", 0.001, error=True, endpoint="b:2")
+        snap = reg.snapshot()
+        assert snap["endpoints"]["a:1"] == {"calls": 2, "errors": 0}
+        assert snap["endpoints"]["b:2"] == {"calls": 1, "errors": 1}
+
+    def test_snapshot_is_a_copy(self):
+        reg = MetricsRegistry()
+        reg.observe("open", 0.001)
+        snap = reg.snapshot()
+        snap["verbs"]["open"]["calls"] = 999
+        assert reg.snapshot()["verbs"]["open"]["calls"] == 1
+
+    def test_reset(self):
+        reg = MetricsRegistry()
+        reg.observe("open", 0.001)
+        reg.reset()
+        assert reg.snapshot()["verbs"] == {}
+
+    def test_default_registry_is_process_wide(self):
+        assert default_registry() is default_registry()
+
+
+class TestRetryPolicyJitter:
+    def test_seeded_rng_pins_the_sequence(self):
+        a = RetryPolicy(
+            max_attempts=6, initial_delay=0.1, jitter=True, rng=random.Random(7)
+        )
+        b = RetryPolicy(
+            max_attempts=6, initial_delay=0.1, jitter=True, rng=random.Random(7)
+        )
+        assert list(a.delays()) == list(b.delays())
+
+    def test_different_seeds_decorrelate(self):
+        a = RetryPolicy(
+            max_attempts=6, initial_delay=0.1, jitter=True, rng=random.Random(1)
+        )
+        b = RetryPolicy(
+            max_attempts=6, initial_delay=0.1, jitter=True, rng=random.Random(2)
+        )
+        assert list(a.delays()) != list(b.delays())
+
+    def test_delays_stay_within_bounds(self):
+        policy = RetryPolicy(
+            max_attempts=50,
+            initial_delay=0.1,
+            max_delay=2.0,
+            jitter=True,
+            rng=random.Random(42),
+        )
+        delays = list(policy.delays())
+        assert len(delays) == 49
+        assert delays[0] == pytest.approx(0.1)  # first retry is immediate-ish
+        assert all(0.1 <= d <= 2.0 for d in delays)
+
+    def test_run_sleeps_the_jittered_sequence(self):
+        clock = ManualClock()
+        policy = RetryPolicy(
+            max_attempts=4,
+            initial_delay=0.1,
+            jitter=True,
+            rng=random.Random(3),
+            clock=clock,
+        )
+        expected = list(
+            RetryPolicy(
+                max_attempts=4, initial_delay=0.1, jitter=True, rng=random.Random(3)
+            ).delays()
+        )
+
+        def op():
+            raise DisconnectedError("always down")
+
+        with pytest.raises(DisconnectedError):
+            policy.run(op, lambda: None)
+        assert clock.now() == pytest.approx(sum(expected))
+
+    def test_jitter_off_keeps_fixed_exponential(self):
+        policy = RetryPolicy(
+            max_attempts=4, initial_delay=1.0, multiplier=2.0, max_delay=10.0
+        )
+        assert list(policy.delays()) == [1.0, 2.0, 4.0]
+
+
+class TestFanoutPool:
+    def test_results_in_task_order(self):
+        with FanoutPool(max_workers=4) as pool:
+            results = pool.run([(lambda i=i: i * i) for i in range(10)])
+        assert results == [i * i for i in range(10)]
+
+    def test_single_worker_is_serial(self):
+        pool = FanoutPool(max_workers=1)
+        assert pool.serial
+        order = []
+        pool.run([(lambda i=i: order.append(i)) for i in range(5)])
+        assert order == [0, 1, 2, 3, 4]
+
+    def test_tasks_genuinely_overlap(self):
+        import threading
+
+        barrier = threading.Barrier(4, timeout=5.0)
+        with FanoutPool(max_workers=4) as pool:
+            # Each task blocks until all four run at once; passing at all
+            # proves four workers were live simultaneously.
+            pool.run([barrier.wait for _ in range(4)])
+
+    def test_first_error_in_task_order_wins(self):
+        def boom(msg):
+            raise ValueError(msg)
+
+        with FanoutPool(max_workers=4) as pool:
+            with pytest.raises(ValueError, match="first"):
+                pool.run([
+                    lambda: 1,
+                    lambda: boom("first"),
+                    lambda: boom("second"),
+                ])
+
+    def test_empty_task_list(self):
+        assert FanoutPool().run([]) == []
+
+    def test_rejects_zero_workers(self):
+        with pytest.raises(ValueError):
+            FanoutPool(max_workers=0)

@@ -163,6 +163,24 @@ class TestLineStream:
         with pytest.raises(InvalidRequestError):
             stream.read_line(max_len=65536)
 
+    def test_oversized_line_crossing_max_mid_chunk(self):
+        # The newline-free line arrives in small chunks and only crosses
+        # MAX_LINE partway through the stream -- the reader must reject it
+        # once the buffer exceeds the limit, not hang waiting for more.
+        chunks = [b"y" * 8192 for _ in range(9)]  # 72 KiB, no newline yet
+        chunks.append(b"z" * 100 + b"\n")
+        stream = LineStream(FakeSocket(chunks))
+        with pytest.raises(InvalidRequestError):
+            stream.read_line(max_len=65536)
+
+    def test_payload_reads_are_exempt_from_line_limit(self):
+        # Binary payloads follow the status line and may far exceed
+        # MAX_LINE; only line framing is bounded.
+        big = b"p" * (65536 * 2)
+        stream = LineStream(FakeSocket([b"131072\n", big[:70000], big[70000:]]))
+        assert stream.read_tokens() == ["131072"]
+        assert stream.read_exact(len(big)) == big
+
     def test_close_is_idempotent(self):
         sock = FakeSocket([])
         stream = LineStream(sock)
