@@ -225,9 +225,9 @@ class ChirpClient:
             with self._fd_lock:
                 self._fds.pop(fd, None)
 
-    def pread(self, fd: int, length: int, offset: int) -> bytes:
+    def pread(self, fd: int, length: int, offset: int, deadline=None) -> bytes:
         conn, raw_fd = self._fd_conn(fd)
-        return conn.pread(raw_fd, length, offset)
+        return conn.pread(raw_fd, length, offset, deadline=deadline)
 
     def pwrite(self, fd: int, data: bytes, offset: int) -> int:
         conn, raw_fd = self._fd_conn(fd)

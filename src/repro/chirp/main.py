@@ -51,6 +51,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument("--report-interval", type=float, default=60.0)
     parser.add_argument("--quota-bytes", type=int, default=None)
+    parser.add_argument(
+        "--idle-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="close connections silent for this long (default: never)",
+    )
     parser.add_argument("--verbose", action="store_true")
     return parser
 
@@ -75,6 +82,7 @@ def main(argv: list[str] | None = None) -> int:
         catalog_addrs=tuple(catalogs),
         report_interval=args.report_interval,
         quota_bytes=args.quota_bytes,
+        idle_timeout=args.idle_timeout,
     )
     server = FileServer(config)
     server.start()

@@ -62,6 +62,10 @@ class ServerConfig:
     report_interval: float = 5.0
     quota_bytes: int | None = None
     max_open_files: int = 256
+    #: Close connections silent for this many seconds (``None`` disables
+    #: the reaper).  Protects worker threads from slow-loris clients that
+    #: hold a session open without ever completing a request.
+    idle_timeout: float | None = None
 
 
 class _Connection:
@@ -118,6 +122,11 @@ class FileServer:
         self._threads: list[threading.Thread] = []
         self._conn_socks: set[socket.socket] = set()
         self._conn_lock = threading.Lock()
+        # socket -> monotonic time of its last observed activity
+        # (accept, auth progress, or a completed dispatch); the reaper
+        # closes sockets whose entry goes stale past idle_timeout.
+        self._activity: dict[socket.socket, float] = {}
+        self.reaped_connections = 0
         self._stop = threading.Event()
         self._started_at = 0.0
         self.address: tuple[str, int] = (config.host, config.port)
@@ -148,6 +157,12 @@ class FileServer:
             )
             reporter.start()
             self._threads.append(reporter)
+        if self.config.idle_timeout is not None:
+            reaper = threading.Thread(
+                target=self._reap_loop, name="chirp-reaper", daemon=True
+            )
+            reaper.start()
+            self._threads.append(reaper)
         log.info("file server %s listening on %s", self.name, self.address)
         return self
 
@@ -198,6 +213,7 @@ class FileServer:
             conn.settimeout(None)
             with self._conn_lock:
                 self._conn_socks.add(conn)
+                self._activity[conn] = time.monotonic()
             t = threading.Thread(
                 target=self._serve_connection,
                 args=(conn, addr),
@@ -212,10 +228,12 @@ class FileServer:
         conn: _Connection | None = None
         try:
             subject = authenticate_server(stream, self.config.auth, addr[0])
+            self._touch(sock)
             conn = _Connection(stream, subject, self.config.max_open_files)
             log.debug("connection from %s authenticated as %s", addr, subject)
             while not self._stop.is_set():
                 tokens = stream.read_tokens()
+                self._touch(sock)
                 if not tokens:
                     continue
                 self._dispatch(conn, tokens)
@@ -230,6 +248,45 @@ class FileServer:
             stream.close()
             with self._conn_lock:
                 self._conn_socks.discard(sock)
+                self._activity.pop(sock, None)
+
+    def _touch(self, sock: socket.socket) -> None:
+        with self._conn_lock:
+            if sock in self._activity:
+                self._activity[sock] = time.monotonic()
+
+    def _reap_loop(self) -> None:
+        """Close connections silent for longer than ``idle_timeout``.
+
+        "Silent" means no completed auth step and no request line since
+        the last mark -- a slow-loris client dribbling bytes without ever
+        finishing a request never refreshes its mark, so it is reaped
+        like one sending nothing at all.  Closing the socket wakes the
+        connection's worker thread out of its blocking read; the normal
+        disconnect path then frees the session's fds.
+        """
+        timeout = self.config.idle_timeout
+        assert timeout is not None
+        interval = max(0.05, min(timeout / 4.0, 1.0))
+        while not self._stop.wait(interval):
+            now = time.monotonic()
+            with self._conn_lock:
+                stale = [
+                    s for s, last in self._activity.items() if now - last > timeout
+                ]
+                for s in stale:
+                    self._activity.pop(s, None)
+            for s in stale:
+                log.info("reaping idle connection %r", s)
+                self.reaped_connections += 1
+                try:
+                    s.shutdown(socket.SHUT_RDWR)
+                except OSError:
+                    pass
+                try:
+                    s.close()
+                except OSError:
+                    pass
 
     # -- dispatch ---------------------------------------------------------
 

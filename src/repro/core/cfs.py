@@ -85,7 +85,7 @@ class ChirpFileHandle(FileHandle):
         self.client.ensure_connected()
         self._reopen()
 
-    def _run(self, op):
+    def _run(self, op, deadline=None):
         with self._lock:
             if self._closed:
                 raise DisconnectedError("handle is closed")
@@ -98,12 +98,15 @@ class ChirpFileHandle(FileHandle):
                     self._reopen()
                 return op()
 
-            return self.policy.run(guarded, self._recover)
+            return self.policy.run(guarded, self._recover, deadline=deadline)
 
     # -- FileHandle interface -------------------------------------------
 
-    def pread(self, length: int, offset: int) -> bytes:
-        return self._run(lambda: self.client.pread(self.fd, length, offset))
+    def pread(self, length: int, offset: int, deadline=None) -> bytes:
+        return self._run(
+            lambda: self.client.pread(self.fd, length, offset, deadline=deadline),
+            deadline=deadline,
+        )
 
     def pwrite(self, data: bytes, offset: int) -> int:
         return self._run(lambda: self.client.pwrite(self.fd, data, offset))

@@ -22,6 +22,7 @@ from typing import Optional
 from repro.auth.methods import ClientCredentials
 from repro.chirp.client import ChirpClient
 from repro.transport.endpoint import DEFAULT_MAX_CONNS, EndpointManager
+from repro.transport.health import HealthRegistry
 from repro.transport.metrics import MetricsRegistry
 from repro.transport.recovery import RetryPolicy
 
@@ -43,6 +44,7 @@ class ClientPool:
         max_conns_per_endpoint: int = DEFAULT_MAX_CONNS,
         policy: Optional[RetryPolicy] = None,
         metrics: Optional[MetricsRegistry] = None,
+        health: Optional[HealthRegistry] = None,
     ):
         self.endpoints = EndpointManager(
             credentials=credentials,
@@ -50,6 +52,7 @@ class ClientPool:
             max_conns_per_endpoint=max_conns_per_endpoint,
             policy=policy,
             metrics=metrics,
+            health=health,
         )
         self.credentials = self.endpoints.credentials
         self.timeout = timeout
@@ -59,6 +62,11 @@ class ClientPool:
     @property
     def metrics(self) -> MetricsRegistry:
         return self.endpoints.metrics
+
+    @property
+    def health(self) -> HealthRegistry:
+        """Per-endpoint circuit breakers shared by every session."""
+        return self.endpoints.health
 
     def get(self, host: str, port: int) -> ChirpClient:
         """Connect (or reuse the cached session) to a server.

@@ -37,6 +37,7 @@ from repro.core.placement import PlacementPolicy, RoundRobinPlacement
 from repro.core.pool import ClientPool
 from repro.core.stubs import unique_data_name
 from repro.transport.fanout import DEFAULT_FANOUT, FanoutPool
+from repro.transport.health import STATE_OPEN
 from repro.transport.recovery import RetryPolicy
 from repro.util.errors import (
     AlreadyExistsError,
@@ -97,6 +98,13 @@ class ReplicatedHandle(FileHandle):
     dead replicas, declaring the file unreachable) happens sequentially
     after the parallel round, so the handle's replica list never mutates
     under a worker.
+
+    Degraded-mode reads: the read path consults each replica's circuit
+    breaker and skips endpoints currently quarantined, so a read after a
+    server death pays one failover instead of a full backoff schedule
+    per operation.  Every replica dropped mid-handle is recorded in
+    ``suspects`` (``host:port`` labels) so callers -- and a GEMS-style
+    auditor -- know exactly which servers to re-replicate around.
     """
 
     def __init__(
@@ -108,6 +116,8 @@ class ReplicatedHandle(FileHandle):
             raise DoesNotExistError("no replica could be opened")
         self._handles = handles
         self.dropped = 0
+        #: ``host:port`` of every replica dropped from this handle.
+        self.suspects: list[str] = []
         self.fanout = fanout or FanoutPool(min(len(handles), DEFAULT_FANOUT))
 
     @property
@@ -118,9 +128,29 @@ class ReplicatedHandle(FileHandle):
     def width(self) -> int:
         return len(self._handles)
 
+    @staticmethod
+    def _quarantined(handle: ChirpFileHandle) -> bool:
+        health = getattr(handle.client.endpoint, "health", None)
+        return health is not None and health.is_open
+
+    def _pick_reader(self) -> ChirpFileHandle:
+        """The first replica whose breaker is not open.
+
+        When every surviving replica is quarantined, the first is used
+        anyway: a read against a suspect server beats refusing outright,
+        and its failure feeds the breaker it would have consulted.
+        """
+        for handle in self._handles:
+            if not self._quarantined(handle):
+                return handle
+        return self._handles[0]
+
     def _survivors_after(self, dead: ChirpFileHandle) -> None:
         self._handles.remove(dead)
         self.dropped += 1
+        label = f"{dead.client.host}:{dead.client.port}"
+        if label not in self.suspects:
+            self.suspects.append(label)
         try:
             dead.close()
         except ChirpError:
@@ -154,11 +184,18 @@ class ReplicatedHandle(FileHandle):
                 self._survivors_after(handle)
         return results
 
-    def pread(self, length: int, offset: int) -> bytes:
+    def pread(self, length: int, offset: int, deadline=None) -> bytes:
+        """Read from the first healthy replica, failing over in order.
+
+        ``deadline`` bounds the *total* time across every replica tried:
+        it clamps each replica's retry backoff and socket waits, so a
+        read against a sick file set returns data or
+        :class:`~repro.util.errors.TimedOutError` within the budget.
+        """
         while True:
-            handle = self._handles[0]
+            handle = self._pick_reader()
             try:
-                return handle.pread(length, offset)
+                return handle.pread(length, offset, deadline=deadline)
             except DisconnectedError:
                 self._survivors_after(handle)
 
@@ -177,7 +214,7 @@ class ReplicatedHandle(FileHandle):
 
     def fstat(self) -> ChirpStat:
         while True:
-            handle = self._handles[0]
+            handle = self._pick_reader()
             try:
                 return handle.fstat()
             except DisconnectedError:
@@ -268,9 +305,16 @@ class ReplicatedFS(Filesystem):
             raise IsADirectoryError_(path)
         stub = self._read_stub(path)
         dflags = replace(flags, create=False, exclusive=False)
+        # Stable sort, quarantined servers last: the handle's read path
+        # prefers earlier replicas, so a server with an open breaker only
+        # gets traffic when every healthy one is gone.
+        locations = sorted(
+            stub.locations,
+            key=lambda loc: self.pool.health.state_of(loc[0], loc[1]) == STATE_OPEN,
+        )
         handles = []
         missing = 0
-        for location in stub.locations:
+        for location in locations:
             try:
                 handles.append(self._open_location(location, dflags, mode))
             except DoesNotExistError:

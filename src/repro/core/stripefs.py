@@ -49,6 +49,7 @@ from repro.util.errors import (
     InvalidRequestError,
     IsADirectoryError_,
     NotAuthorizedError,
+    PartialFailureError,
 )
 from repro.util.paths import normalize_virtual
 
@@ -179,6 +180,22 @@ class StripedHandle(FileHandle):
     def width(self) -> int:
         return len(self._handles)
 
+    def _stripe_label(self, stripe: int) -> str:
+        client = self._handles[stripe].client
+        return f"{client.host}:{client.port}"
+
+    def _raise_partial(self, failures: list) -> None:
+        """Striping has no redundancy, so *any* dead stripe fails the
+        operation -- but the error names every dead stripe, not just the
+        first, so an operator (or a replication layer above) knows the
+        full damage from one exception."""
+        if failures:
+            failures.sort(key=lambda f: f[0])
+            raise PartialFailureError(
+                f"{len(failures)} of {self.width} stripes unreachable",
+                failures=failures,
+            )
+
     def pread(self, length: int, offset: int) -> bytes:
         pieces = list(
             map_extent(offset, length, self.width, self.stripe_size)
@@ -187,18 +204,25 @@ class StripedHandle(FileHandle):
         for item in pieces:
             by_stripe.setdefault(item[0], []).append(item)
         results: dict[int, bytes] = {}  # logical offset -> data
+        failures: list = []
 
         def fetch(stripe: int) -> None:
             handle = self._handles[stripe]
-            for _s, inner, piece, logical in by_stripe[stripe]:
-                data = handle.pread(piece, inner)
-                results[logical] = data
-                if len(data) < piece:
-                    break  # EOF in this stripe; later pieces are past it
+            try:
+                for _s, inner, piece, logical in by_stripe[stripe]:
+                    data = handle.pread(piece, inner)
+                    results[logical] = data
+                    if len(data) < piece:
+                        break  # EOF in this stripe; later pieces are past it
+            except DisconnectedError as exc:
+                failures.append(
+                    (stripe, self._stripe_label(stripe), str(exc) or "disconnected")
+                )
 
         self.fanout.run([
             (lambda s=stripe: fetch(s)) for stripe in by_stripe
         ])
+        self._raise_partial(failures)
 
         # reassemble while contiguous; stop at the first gap/short piece
         out = []
@@ -219,22 +243,42 @@ class StripedHandle(FileHandle):
         for item in map_extent(offset, len(data), self.width, self.stripe_size):
             by_stripe.setdefault(item[0], []).append(item)
 
+        failures: list = []
+
         def push(stripe: int) -> int:
             handle = self._handles[stripe]
             done = 0
-            for _s, inner, piece, logical in by_stripe[stripe]:
-                start = logical - offset
-                done += handle.pwrite(bytes(view[start : start + piece]), inner)
+            try:
+                for _s, inner, piece, logical in by_stripe[stripe]:
+                    start = logical - offset
+                    done += handle.pwrite(bytes(view[start : start + piece]), inner)
+            except DisconnectedError as exc:
+                failures.append(
+                    (stripe, self._stripe_label(stripe), str(exc) or "disconnected")
+                )
             return done
 
-        return sum(
+        written = sum(
             self.fanout.run([(lambda s=stripe: push(s)) for stripe in by_stripe])
         )
+        self._raise_partial(failures)
+        return written
 
     def fsync(self) -> None:
+        failures: list = []
+
+        def sync_one(stripe: int) -> None:
+            try:
+                self._handles[stripe].fsync()
+            except DisconnectedError as exc:
+                failures.append(
+                    (stripe, self._stripe_label(stripe), str(exc) or "disconnected")
+                )
+
         self.fanout.run([
-            (lambda h=handle: h.fsync()) for handle in self._handles
+            (lambda s=stripe: sync_one(s)) for stripe in range(self.width)
         ])
+        self._raise_partial(failures)
 
     def fstat(self) -> ChirpStat:
         stats = [h.fstat() for h in self._handles]
@@ -323,12 +367,20 @@ class StripedFS(Filesystem):
         self, stub: StripeStub, flags: OpenFlags, mode: int
     ) -> StripedHandle:
         handles = []
+        failures: list = []
         try:
-            for host, port, data_path in stub.locations:
-                client = self.pool.get(host, port)
-                handles.append(
-                    ChirpFileHandle(client, data_path, flags, mode, self.policy)
-                )
+            for index, (host, port, data_path) in enumerate(stub.locations):
+                try:
+                    client = self.pool.get(host, port)
+                    handles.append(
+                        ChirpFileHandle(client, data_path, flags, mode, self.policy)
+                    )
+                except DisconnectedError as exc:
+                    # Keep probing: the error should name *every* dead
+                    # stripe server, not only the first one hit.
+                    failures.append(
+                        (index, f"{host}:{port}", str(exc) or "disconnected")
+                    )
         except ChirpError:
             for h in handles:
                 try:
@@ -336,6 +388,16 @@ class StripedFS(Filesystem):
                 except ChirpError:
                     pass
             raise
+        if failures:
+            for h in handles:
+                try:
+                    h.close()
+                except ChirpError:
+                    pass
+            raise PartialFailureError(
+                f"{len(failures)} of {len(stub.locations)} stripes unreachable",
+                failures=failures,
+            )
         return StripedHandle(handles, stub.stripe_size, fanout=self.fanout)
 
     def _is_dir(self, path: str) -> bool:

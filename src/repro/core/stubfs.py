@@ -144,7 +144,10 @@ class StubFilesystem(Filesystem):
         dead: set[tuple[str, int]] = set()
         for _ in range(_CREATE_ATTEMPTS):
             # Step 1: choose a server and generate a unique data name.
-            endpoint = tuple(self.placement.choose(self.servers, frozenset(dead)))
+            try:
+                endpoint = tuple(self.placement.choose(self.servers, frozenset(dead)))
+            except LookupError:
+                raise DisconnectedError(f"{path}: no data server for placement") from None
             data_path = self.data_dir + "/" + unique_data_name()
             stub = Stub(endpoint[0], endpoint[1], data_path)
             # Step 2: exclusively create the stub entry.

@@ -12,29 +12,50 @@ Layering::
     abstractions   cfs/dpfs/dsfs/stripefs/replfs/versionfs/dsdb
     sessions       ChirpClient / DatabaseClient  (fd + verb semantics)
     this package   Endpoint(Manager), Connection, RetryPolicy,
-                   MetricsRegistry, FanoutPool
+                   Deadline, HealthRegistry (circuit breakers),
+                   MetricsRegistry, FanoutPool, fault injection
     resources      file servers, database servers, catalogs
 
-See DESIGN.md, "Transport layer".
+See DESIGN.md, "Transport layer" and "Failure semantics".
 """
 
 from repro.transport.connection import Connection
+from repro.transport.deadline import Deadline
 from repro.transport.dial import oneshot_exchange
 from repro.transport.endpoint import DEFAULT_MAX_CONNS, Endpoint, EndpointManager
 from repro.transport.fanout import DEFAULT_FANOUT, FanoutPool
+from repro.transport.faults import FaultPlan, FaultScript, FaultyListener
+from repro.transport.health import (
+    BreakerPolicy,
+    EndpointHealth,
+    HealthRegistry,
+    STATE_CLOSED,
+    STATE_HALF_OPEN,
+    STATE_OPEN,
+)
 from repro.transport.metrics import LatencyHistogram, MetricsRegistry, default_registry
 from repro.transport.recovery import RetryPolicy
 
 __all__ = [
+    "BreakerPolicy",
     "Connection",
     "DEFAULT_FANOUT",
     "DEFAULT_MAX_CONNS",
+    "Deadline",
     "Endpoint",
+    "EndpointHealth",
     "EndpointManager",
     "FanoutPool",
+    "FaultPlan",
+    "FaultScript",
+    "FaultyListener",
+    "HealthRegistry",
     "LatencyHistogram",
     "MetricsRegistry",
     "RetryPolicy",
+    "STATE_CLOSED",
+    "STATE_HALF_OPEN",
+    "STATE_OPEN",
     "default_registry",
     "oneshot_exchange",
 ]

@@ -31,6 +31,7 @@ from typing import BinaryIO, Callable, Optional, Union
 
 from repro.auth.acl import Acl, AclEntry, parse_rights
 from repro.chirp.protocol import ChirpStat, StatFs
+from repro.transport.deadline import Deadline
 from repro.transport.metrics import MetricsRegistry, default_registry
 from repro.util.errors import (
     DisconnectedError,
@@ -65,6 +66,12 @@ class Connection:
         self.generation = generation
         self.label = f"{host}:{port}"
         self._stream: Optional[LineStream] = stream
+        # The timeout the socket was dialed with; deadline-bounded
+        # exchanges clamp to min(base, remaining) and restore it after.
+        try:
+            self._base_timeout: Optional[float] = stream.socket.gettimeout()
+        except (AttributeError, OSError):
+            self._base_timeout = None
         self._metrics = metrics if metrics is not None else default_registry()
         self._on_death = on_death
         self._lock = threading.RLock()
@@ -106,6 +113,28 @@ class Connection:
             raise DisconnectedError("connection is closed")
         return self._stream
 
+    def _apply_deadline(
+        self, stream: LineStream, deadline: Optional[Deadline]
+    ) -> None:
+        """Clamp the socket timeout to the deadline's remaining budget.
+
+        Called under ``_lock`` at the start of an exchange.  With no
+        deadline the dialed timeout is restored (a previous bounded
+        exchange may have shrunk it).  A spent deadline raises
+        :class:`TimedOutError` before any bytes move.  A timeout firing
+        mid-exchange surfaces as :class:`DisconnectedError` from the
+        stream, which tears the connection down -- correct, because the
+        reply stream can never be resynchronized anyway.
+        """
+        if deadline is None:
+            timeout = self._base_timeout
+        else:
+            timeout = deadline.bound(self._base_timeout)
+        try:
+            stream.socket.settimeout(timeout)
+        except OSError:
+            pass
+
     def _observe(
         self,
         verb: str,
@@ -129,6 +158,7 @@ class Connection:
         *tokens: object,
         payload: Optional[bytes] = None,
         metric: Optional[str] = None,
+        deadline: Optional[Deadline] = None,
     ) -> list[str]:
         """One request line (plus optional payload), one reply line.
 
@@ -136,6 +166,8 @@ class Connection:
         statuses raise the mapped :class:`~repro.util.errors.ChirpError`.
         On transport failure the connection tears down and
         :class:`DisconnectedError`/:class:`TimedOutError` propagates.
+        With a ``deadline`` the socket timeout is clamped to the
+        remaining budget for this exchange.
         """
         name = metric or verb
         start = time.perf_counter()
@@ -146,6 +178,7 @@ class Connection:
         with self._lock:
             try:
                 stream = self._require_stream()
+                self._apply_deadline(stream, deadline)
                 try:
                     stream.write(line)
                     if payload:
@@ -178,13 +211,20 @@ class Connection:
     def close_fd(self, fd: int) -> None:
         self.rpc("close", fd)
 
-    def pread(self, fd: int, length: int, offset: int) -> bytes:
+    def pread(
+        self,
+        fd: int,
+        length: int,
+        offset: int,
+        deadline: Optional[Deadline] = None,
+    ) -> bytes:
         start = time.perf_counter()
         bytes_in = 0
         error = True
         with self._lock:
             try:
                 stream = self._require_stream()
+                self._apply_deadline(stream, deadline)
                 try:
                     stream.write_line("pread", fd, length, offset)
                     reply = stream.read_tokens()

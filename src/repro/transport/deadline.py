@@ -1,0 +1,77 @@
+"""Deadline: a total-time budget carried across an operation.
+
+A retrying read against a flaky server can otherwise stall its caller for
+the full backoff schedule of every replica it tries -- each layer sleeps
+"a little", and the sum is unbounded.  A :class:`Deadline` is created
+once at the top of an operation and threaded down through
+:meth:`~repro.transport.recovery.RetryPolicy.run` (sleeps shrink to fit
+the remaining budget), :class:`~repro.transport.connection.Connection`
+exchanges (socket timeouts are clamped to the remainder), and
+:meth:`~repro.transport.fanout.FanoutPool.run` (result waits are
+bounded), so the caller's wait is bounded by one number no matter how
+many layers retry beneath it.
+
+The clock is injectable (:class:`~repro.util.clock.ManualClock` in
+tests) so deadline behaviour is testable without real sleeping.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.util.clock import Clock, MonotonicClock
+from repro.util.errors import TimedOutError
+
+__all__ = ["Deadline"]
+
+
+class Deadline:
+    """A fixed point in (a clock's) time by which work must finish.
+
+    :param budget: seconds from now until expiry.
+    :param clock: time source; defaults to the monotonic wall clock.
+    """
+
+    __slots__ = ("clock", "budget", "_expires_at")
+
+    def __init__(self, budget: float, clock: Optional[Clock] = None):
+        if budget < 0:
+            raise ValueError("deadline budget must be >= 0")
+        self.clock = clock or MonotonicClock()
+        self.budget = float(budget)
+        self._expires_at = self.clock.now() + self.budget
+
+    @classmethod
+    def after(cls, seconds: float, clock: Optional[Clock] = None) -> "Deadline":
+        """Alias constructor that reads naturally at call sites."""
+        return cls(seconds, clock)
+
+    def remaining(self) -> float:
+        """Seconds left, clamped at zero."""
+        return max(0.0, self._expires_at - self.clock.now())
+
+    @property
+    def expired(self) -> bool:
+        return self.clock.now() >= self._expires_at
+
+    def check(self, what: str = "operation") -> None:
+        """Raise :class:`TimedOutError` if the budget is spent."""
+        if self.expired:
+            raise TimedOutError(f"{what}: deadline of {self.budget:g}s exceeded")
+
+    def bound(self, timeout: Optional[float]) -> float:
+        """Clamp a per-step timeout to the remaining budget.
+
+        With ``timeout=None`` the whole remainder is granted.  Raises
+        :class:`TimedOutError` when nothing remains, so callers never
+        issue a zero-timeout socket operation by accident.
+        """
+        remaining = self.remaining()
+        if remaining <= 0:
+            raise TimedOutError(f"deadline of {self.budget:g}s exceeded")
+        if timeout is None:
+            return remaining
+        return min(timeout, remaining)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Deadline(budget={self.budget:g}, remaining={self.remaining():.3f})"

@@ -6,18 +6,29 @@ authentication and nothing worth keeping warm, so it does not get an
 :class:`~repro.transport.endpoint.Endpoint`; it still routes through
 the transport layer so that socket construction, error mapping and
 metrics stay in one place.
+
+One-shot exchanges retry once by default (``attempts=2``): a catalog
+query is cheap and idempotent, so a single dropped SYN or mid-reply
+reset should not fail the whole lookup.  The inter-attempt delay is
+jittered so a fleet of clients that all lost the same catalog does not
+re-dial it in lockstep.
 """
 
 from __future__ import annotations
 
+import random
 import socket
 import time
 from typing import Optional
 
 from repro.transport.metrics import MetricsRegistry, default_registry
+from repro.util.clock import Clock, MonotonicClock
 from repro.util.errors import DisconnectedError, TimedOutError
 
 __all__ = ["oneshot_exchange"]
+
+DEFAULT_ONESHOT_ATTEMPTS = 2
+DEFAULT_ONESHOT_RETRY_DELAY = 0.1
 
 
 def oneshot_exchange(
@@ -27,12 +38,45 @@ def oneshot_exchange(
     timeout: float = 10.0,
     metric: str = "oneshot",
     metrics: Optional[MetricsRegistry] = None,
+    attempts: int = DEFAULT_ONESHOT_ATTEMPTS,
+    retry_delay: float = DEFAULT_ONESHOT_RETRY_DELAY,
+    rng: Optional[random.Random] = None,
+    clock: Optional[Clock] = None,
 ) -> bytes:
     """Dial, send ``request``, read until the peer closes; metered.
 
     Maps socket failures to :class:`TimedOutError` /
-    :class:`DisconnectedError` like every other transport path.
+    :class:`DisconnectedError` like every other transport path.  Each
+    attempt is metered separately (failed tries show as errors), and the
+    last attempt's failure propagates.  ``rng`` and ``clock`` are
+    injectable for deterministic tests.
     """
+    if attempts < 1:
+        raise ValueError("attempts must be >= 1")
+    clk = clock if clock is not None else MonotonicClock()
+    last_exc: Optional[Exception] = None
+    for attempt in range(attempts):
+        if attempt > 0:
+            # Uniform jitter in [delay/2, delay]: enough spread to break
+            # lockstep, never more than the configured ceiling.
+            r = rng if rng is not None else random
+            clk.sleep(r.uniform(retry_delay / 2, retry_delay))
+        try:
+            return _exchange_once(host, port, request, timeout, metric, metrics)
+        except (DisconnectedError, TimedOutError) as exc:
+            last_exc = exc
+    assert last_exc is not None
+    raise last_exc
+
+
+def _exchange_once(
+    host: str,
+    port: int,
+    request: bytes,
+    timeout: float,
+    metric: str,
+    metrics: Optional[MetricsRegistry],
+) -> bytes:
     registry = metrics if metrics is not None else default_registry()
     label = f"{host}:{port}"
     start = time.perf_counter()

@@ -31,9 +31,10 @@ from typing import Optional
 
 from repro.auth.methods import ClientCredentials, authenticate_client
 from repro.transport.connection import Connection
+from repro.transport.health import EndpointHealth, HealthRegistry
 from repro.transport.metrics import MetricsRegistry, default_registry
 from repro.transport.recovery import RetryPolicy
-from repro.util.errors import DisconnectedError, TimedOutError
+from repro.util.errors import CircuitOpenError, DisconnectedError, TimedOutError
 from repro.util.wire import LineStream
 
 __all__ = ["Endpoint", "EndpointManager", "DEFAULT_MAX_CONNS"]
@@ -52,6 +53,9 @@ class Endpoint:
     :param policy: recovery policy; available to sessions and handles so
         backoff lives in one place.
     :param metrics: registry observing every RPC on every connection.
+    :param health: circuit breaker for this endpoint; when set, every
+        dial is gated on it and every transport outcome is recorded.
+        ``None`` (standalone endpoints) disables breaking entirely.
     """
 
     def __init__(
@@ -63,6 +67,7 @@ class Endpoint:
         max_conns: int = DEFAULT_MAX_CONNS,
         policy: Optional[RetryPolicy] = None,
         metrics: Optional[MetricsRegistry] = None,
+        health: Optional[EndpointHealth] = None,
     ):
         if max_conns < 1:
             raise ValueError("max_conns must be >= 1")
@@ -73,6 +78,7 @@ class Endpoint:
         self.max_conns = max_conns
         self.policy = policy or RetryPolicy()
         self.metrics = metrics if metrics is not None else default_registry()
+        self.health = health
         #: Advances exactly once per reconnect-from-dead; fds opened on an
         #: older generation are gone.  Growth dials do not bump it.
         self.generation = 0
@@ -88,14 +94,27 @@ class Endpoint:
     # -- dialing ---------------------------------------------------------
 
     def _dial(self) -> Connection:
-        """One connect+authenticate attempt; no retry, no registration."""
+        """One connect+authenticate attempt; no retry, no registration.
+
+        Gated on the circuit breaker: an open breaker refuses instantly
+        with :class:`CircuitOpenError` instead of paying the connect
+        timeout against a server already known to be sick.  The breaker
+        fast-fail itself is *not* recorded as a failure -- only real
+        transport outcomes move the breaker.
+        """
+        if self.health is not None and not self.health.allow():
+            raise CircuitOpenError(
+                f"{self.host}:{self.port} circuit open; dial refused"
+            )
         try:
             sock = socket.create_connection(
                 (self.host, self.port), timeout=self.timeout
             )
         except socket.timeout as exc:
+            self._record_failure()
             raise TimedOutError(f"connect to {self.host}:{self.port}") from exc
         except OSError as exc:
+            self._record_failure()
             raise DisconnectedError(
                 f"connect to {self.host}:{self.port} failed: {exc}"
             ) from exc
@@ -103,9 +122,17 @@ class Endpoint:
         stream = LineStream(sock)
         try:
             subject = authenticate_client(stream, self.credentials)
+        except (DisconnectedError, TimedOutError):
+            # The server died mid-handshake: a transport failure.
+            stream.close()
+            self._record_failure()
+            raise
         except Exception:
+            # A protocol-level refusal (bad credentials) is the server
+            # *working*; it must not move the breaker.
             stream.close()
             raise
+        self._record_success()
         return Connection(
             self.host,
             self.port,
@@ -115,6 +142,14 @@ class Endpoint:
             metrics=self.metrics,
             on_death=self._discard,
         )
+
+    def _record_failure(self) -> None:
+        if self.health is not None:
+            self.health.record_failure()
+
+    def _record_success(self) -> None:
+        if self.health is not None:
+            self.health.record_success()
 
     def connect(self) -> None:
         """Tear down every connection and dial a fresh one (new generation).
@@ -209,6 +244,11 @@ class Endpoint:
                 conn.busy -= 1
             if conn.closed and conn in self._conns:
                 self._conns.remove(conn)
+        if not conn.closed:
+            # A connection returned alive means the exchange succeeded:
+            # reset the breaker's consecutive-failure count so sporadic
+            # drops spread over a long session never accumulate to a trip.
+            self._record_success()
 
     def _pick_locked(self) -> Connection:
         """Least-loaded connection, round-robin among ties."""
@@ -231,6 +271,7 @@ class Endpoint:
         with self._lock:
             if conn in self._conns:
                 self._conns.remove(conn)
+        self._record_failure()
 
     # -- state -----------------------------------------------------------
 
@@ -283,9 +324,14 @@ class Endpoint:
 class EndpointManager:
     """All of one principal's endpoint sessions, keyed by server address.
 
-    Carries the credentials, timeout, connection cap, recovery policy and
-    metrics registry that every endpoint inherits, so an abstraction can
-    be built from a list of ``(host, port)`` pairs alone.
+    Carries the credentials, timeout, connection cap, recovery policy,
+    metrics registry and health registry that every endpoint inherits, so
+    an abstraction can be built from a list of ``(host, port)`` pairs
+    alone.  Health is on by default: every managed endpoint gets a
+    circuit breaker from one shared :class:`HealthRegistry`, which is
+    attached to the metrics registry so ``snapshot()`` shows quarantined
+    servers.  Pass an explicit registry to share breaker state across
+    managers, or construct endpoints directly to opt out.
     """
 
     def __init__(
@@ -295,12 +341,15 @@ class EndpointManager:
         max_conns_per_endpoint: int = DEFAULT_MAX_CONNS,
         policy: Optional[RetryPolicy] = None,
         metrics: Optional[MetricsRegistry] = None,
+        health: Optional[HealthRegistry] = None,
     ):
         self.credentials = credentials or ClientCredentials()
         self.timeout = timeout
         self.max_conns_per_endpoint = max_conns_per_endpoint
         self.policy = policy or RetryPolicy()
         self.metrics = metrics if metrics is not None else default_registry()
+        self.health = health if health is not None else HealthRegistry()
+        self.metrics.attach_health(self.health)
         self._endpoints: dict[tuple[str, int], Endpoint] = {}
         self._lock = threading.Lock()
 
@@ -318,6 +367,7 @@ class EndpointManager:
                     max_conns=self.max_conns_per_endpoint,
                     policy=self.policy,
                     metrics=self.metrics,
+                    health=self.health.for_endpoint(host, port),
                 )
                 self._endpoints[key] = ep
             return ep

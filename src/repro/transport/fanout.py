@@ -17,7 +17,11 @@ from __future__ import annotations
 
 import threading
 from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import TimeoutError as FutureTimeoutError
 from typing import Callable, Optional, Sequence, TypeVar
+
+from repro.transport.deadline import Deadline
+from repro.util.errors import TimedOutError
 
 __all__ = ["FanoutPool"]
 
@@ -54,19 +58,58 @@ class FanoutPool:
                 )
             return self._executor
 
-    def run(self, tasks: Sequence[Callable[[], T]]) -> list[T]:
-        """Run every task; return their results in task order."""
+    def run(
+        self,
+        tasks: Sequence[Callable[[], T]],
+        deadline: Optional[Deadline] = None,
+    ) -> list[T]:
+        """Run every task; return their results in task order.
+
+        With a ``deadline``, each result wait is bounded by the remaining
+        budget; tasks still queued when it expires are cancelled and
+        :class:`TimedOutError` is raised.  Tasks already executing run to
+        completion on their own (deadline-clamped) socket timeouts -- the
+        pool never abandons a running thread mid-exchange.
+        """
         if not tasks:
             return []
         if self.serial or len(tasks) == 1:
-            return [task() for task in tasks]
+            results = []
+            for task in tasks:
+                if deadline is not None:
+                    deadline.check("fan-out")
+                results.append(task())
+            return results
         executor = self._ensure_executor()
         futures = [executor.submit(task) for task in tasks]
         results: list = [None] * len(futures)
         first_error: Optional[BaseException] = None
         for i, future in enumerate(futures):
             try:
-                results[i] = future.result()
+                if deadline is None:
+                    results[i] = future.result()
+                else:
+                    results[i] = future.result(timeout=deadline.bound(None))
+            except (FutureTimeoutError, TimedOutError) as exc:
+                if deadline is None:
+                    # A task timed out on its own; ordinary error path.
+                    if first_error is None:
+                        first_error = exc
+                    continue
+                # Budget spent: drop whatever has not started yet and
+                # surface the timeout (unless an earlier task failed
+                # outright -- task-order precedence still holds).
+                for pending in futures[i:]:
+                    pending.cancel()
+                if first_error is None:
+                    first_error = (
+                        exc
+                        if isinstance(exc, TimedOutError)
+                        else TimedOutError(
+                            f"fan-out exceeded deadline of {deadline.budget:g}s"
+                        )
+                    )
+                break
             except BaseException as exc:  # noqa: BLE001 - re-raised below
                 if first_error is None:
                     first_error = exc

@@ -1,0 +1,450 @@
+"""A scriptable in-process TCP fault proxy for chaos testing.
+
+``FaultyListener`` sits between any TSS client and any line-protocol
+server (Chirp, database, catalog TCP side) and injects failures at the
+transport level, where the paper's failure semantics actually live:
+
+- **refusal** -- accept then immediately reset, as a dead or
+  firewalled server would;
+- **mid-stream RST** -- forward exactly N bytes in a chosen direction,
+  then hard-reset both sides (``SO_LINGER 0``);
+- **payload truncation** -- forward N bytes then close cleanly, so the
+  client sees a short read rather than a reset;
+- **added latency** -- a per-chunk delay in both directions, modelling
+  a slow link;
+- **slow-loris stall** -- stop forwarding after N bytes but hold the
+  sockets open, pinning whatever the peer dedicates to the connection.
+
+Faults are driven by a :class:`FaultPlan`: either an explicit queue of
+per-connection :class:`FaultScript`\\ s, or a seeded probabilistic mix
+(:meth:`FaultPlan.chaos`).  All randomness comes from one
+``random.Random(seed)`` and every injected action is appended to an
+event log, so running the same workload against the same seed produces
+a byte-identical fault sequence -- chaos runs are *reproducible*, which
+is what makes their failures debuggable.  The sleep source is an
+injectable :class:`~repro.util.clock.Clock`, so latency scripts can run
+on a :class:`~repro.util.clock.ManualClock` in tests.
+
+This is test/ops machinery: nothing in the production client or server
+stack imports it, but it lives in the transport package because its
+contract (what a "reset" or "truncation" looks like to a
+:class:`~repro.util.wire.LineStream`) is a transport-layer contract.
+"""
+
+from __future__ import annotations
+
+import random
+import socket
+import struct
+import threading
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.util.clock import Clock, MonotonicClock
+
+__all__ = [
+    "FaultScript",
+    "FaultPlan",
+    "FaultyListener",
+    "RESET",
+    "TRUNCATE",
+    "STALL",
+]
+
+# What happens when a cut threshold is reached.
+RESET = "reset"  # SO_LINGER 0 close: the peer sees ECONNRESET
+TRUNCATE = "truncate"  # clean FIN: the peer sees a short read / EOF
+STALL = "stall"  # forward nothing more, keep the sockets open
+
+_ACTIONS = (RESET, TRUNCATE, STALL)
+_CHUNK = 65536
+
+
+@dataclass
+class FaultScript:
+    """What to inject into one proxied connection.
+
+    Defaults are full pass-through.  ``cut_after_in`` counts
+    client→server bytes, ``cut_after_out`` counts server→client bytes;
+    the first threshold reached triggers ``action`` for the whole
+    connection.  A threshold of 0 fires before the first byte in that
+    direction is forwarded.
+
+    :ivar refuse: reset the connection immediately after accept.
+    :ivar accept_delay: seconds to sit on the accepted connection before
+        proxying starts (connection-level latency).
+    :ivar latency: seconds added before forwarding each chunk, both
+        directions (per-byte-stream latency).
+    :ivar cut_after_in: act after this many client→server bytes.
+    :ivar cut_after_out: act after this many server→client bytes.
+    :ivar action: one of :data:`RESET`, :data:`TRUNCATE`, :data:`STALL`.
+    :ivar note: free-form tag copied into the event log.
+    """
+
+    refuse: bool = False
+    accept_delay: float = 0.0
+    latency: float = 0.0
+    cut_after_in: Optional[int] = None
+    cut_after_out: Optional[int] = None
+    action: str = RESET
+    note: str = ""
+
+    def __post_init__(self):
+        if self.action not in _ACTIONS:
+            raise ValueError(f"unknown fault action {self.action!r}")
+
+    def describe(self) -> str:
+        parts = []
+        if self.refuse:
+            parts.append("refuse")
+        if self.accept_delay:
+            parts.append(f"accept_delay={self.accept_delay:g}")
+        if self.latency:
+            parts.append(f"latency={self.latency:g}")
+        if self.cut_after_in is not None:
+            parts.append(f"{self.action}@in:{self.cut_after_in}")
+        if self.cut_after_out is not None:
+            parts.append(f"{self.action}@out:{self.cut_after_out}")
+        if self.note:
+            parts.append(self.note)
+        return ",".join(parts) if parts else "pass"
+
+
+@dataclass
+class FaultPlan:
+    """The per-connection fault schedule for one listener.
+
+    Explicit mode: queue scripts with :meth:`script`; connection *k*
+    consumes the *k*-th queued script, later connections fall back to
+    ``default`` (pass-through unless given).
+
+    Probabilistic mode (:meth:`chaos`): each accepted connection draws
+    its script from the seeded RNG.  Because the draw happens in accept
+    order and the RNG is owned by the plan, a rerun with the same seed
+    and the same (sequential) workload replays the identical sequence.
+    """
+
+    seed: Optional[int] = None
+    default: FaultScript = field(default_factory=FaultScript)
+    rng: random.Random = None  # type: ignore[assignment]
+
+    def __post_init__(self):
+        if self.rng is None:
+            self.rng = random.Random(self.seed)
+        self._scripts: list[FaultScript] = []
+        self._chaos: Optional[dict] = None
+        self._lock = threading.Lock()
+
+    def script(self, fault: FaultScript) -> "FaultPlan":
+        """Queue a script for the next not-yet-scripted connection."""
+        with self._lock:
+            self._scripts.append(fault)
+        return self
+
+    @classmethod
+    def chaos(
+        cls,
+        seed: int,
+        *,
+        refuse_rate: float = 0.0,
+        reset_rate: float = 0.0,
+        truncate_rate: float = 0.0,
+        stall_rate: float = 0.0,
+        latency: tuple[float, float] = (0.0, 0.0),
+        cut_range: tuple[int, int] = (1, 4096),
+    ) -> "FaultPlan":
+        """A seeded probabilistic mix; rates are per-connection."""
+        plan = cls(seed=seed)
+        plan._chaos = {
+            "refuse": refuse_rate,
+            "reset": reset_rate,
+            "truncate": truncate_rate,
+            "stall": stall_rate,
+            "latency": latency,
+            "cut_range": cut_range,
+        }
+        return plan
+
+    def next_script(self) -> FaultScript:
+        """The script for the next accepted connection (consumes RNG)."""
+        with self._lock:
+            if self._scripts:
+                return self._scripts.pop(0)
+            if self._chaos is None:
+                return self.default
+            return self._draw_locked()
+
+    def _draw_locked(self) -> FaultScript:
+        cfg = self._chaos
+        lat_lo, lat_hi = cfg["latency"]
+        latency = self.rng.uniform(lat_lo, lat_hi) if lat_hi > 0 else 0.0
+        roll = self.rng.random()
+        cut = self.rng.randint(*cfg["cut_range"])
+        threshold = 0.0
+        for action in ("refuse", "reset", "truncate", "stall"):
+            threshold += cfg[action]
+            if roll < threshold:
+                if action == "refuse":
+                    return FaultScript(refuse=True, latency=latency, note="chaos")
+                return FaultScript(
+                    latency=latency, cut_after_out=cut, action=action, note="chaos"
+                )
+        return FaultScript(latency=latency, note="chaos")
+
+
+class FaultyListener:
+    """A TCP proxy that forwards to ``upstream`` and injects faults.
+
+    Usable as a context manager; ``address`` is where clients connect.
+    Every accept and every injected action is recorded in ``events`` (a
+    list of strings in strict accept/injection order), the reproducibility
+    witness for seeded chaos runs.
+    """
+
+    def __init__(
+        self,
+        upstream: tuple[str, int],
+        plan: Optional[FaultPlan] = None,
+        host: str = "127.0.0.1",
+        clock: Optional[Clock] = None,
+        connect_timeout: float = 5.0,
+    ):
+        self.upstream = (upstream[0], int(upstream[1]))
+        self.plan = plan or FaultPlan()
+        self.clock = clock or MonotonicClock()
+        self.connect_timeout = connect_timeout
+        self.events: list[str] = []
+        self._events_lock = threading.Lock()
+        self._stop = threading.Event()
+        self._refuse_all = threading.Event()
+        self._listener: Optional[socket.socket] = None
+        self._threads: list[threading.Thread] = []
+        self._live: set[socket.socket] = set()
+        self._live_lock = threading.Lock()
+        self._accepted = 0
+        self.address: tuple[str, int] = (host, 0)
+        self._host = host
+
+    # -- lifecycle -------------------------------------------------------
+
+    def start(self) -> "FaultyListener":
+        if self._listener is not None:
+            raise RuntimeError("listener already started")
+        sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        sock.bind((self._host, 0))
+        sock.listen(64)
+        sock.settimeout(0.2)
+        self._listener = sock
+        self.address = sock.getsockname()[:2]
+        t = threading.Thread(
+            target=self._accept_loop, name=f"fault-accept-{self.address[1]}", daemon=True
+        )
+        t.start()
+        self._threads.append(t)
+        return self
+
+    def stop(self) -> None:
+        self._stop.set()
+        if self._listener is not None:
+            try:
+                self._listener.close()
+            except OSError:
+                pass
+            self._listener = None
+        self._kill_live(RESET)
+        for t in self._threads:
+            t.join(timeout=5)
+        self._threads.clear()
+
+    def __enter__(self) -> "FaultyListener":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+    # -- runtime control (the "pull the cable now" lever) ----------------
+
+    def break_now(self, refuse_new: bool = True) -> None:
+        """Hard-kill every proxied connection; optionally refuse new ones.
+
+        This is the deterministic crash lever: tests sequence a protocol
+        to a precise point, then sever the wire exactly there.
+        """
+        self._record("break_now")
+        if refuse_new:
+            self._refuse_all.set()
+        self._kill_live(RESET)
+
+    def restore(self) -> None:
+        """Accept and pass connections again after :meth:`break_now`."""
+        self._record("restore")
+        self._refuse_all.clear()
+
+    # -- internals -------------------------------------------------------
+
+    def _record(self, event: str) -> None:
+        with self._events_lock:
+            self.events.append(event)
+
+    def event_log(self) -> tuple[str, ...]:
+        with self._events_lock:
+            return tuple(self.events)
+
+    def _track(self, *socks: socket.socket) -> None:
+        with self._live_lock:
+            self._live.update(socks)
+
+    def _untrack(self, *socks: socket.socket) -> None:
+        with self._live_lock:
+            self._live.difference_update(socks)
+
+    def _kill_live(self, action: str) -> None:
+        with self._live_lock:
+            socks = list(self._live)
+            self._live.clear()
+        for s in socks:
+            _close(s, action)
+
+    def _accept_loop(self) -> None:
+        assert self._listener is not None
+        while not self._stop.is_set():
+            try:
+                client, _addr = self._listener.accept()
+            except socket.timeout:
+                continue
+            except OSError:
+                return
+            index = self._accepted
+            self._accepted += 1
+            if self._refuse_all.is_set():
+                self._record(f"conn {index}: refused (break_now)")
+                _close(client, RESET)
+                continue
+            script = self.plan.next_script()
+            self._record(f"conn {index}: {script.describe()}")
+            t = threading.Thread(
+                target=self._proxy_connection,
+                args=(index, client, script),
+                name=f"fault-conn-{index}",
+                daemon=True,
+            )
+            t.start()
+            self._threads.append(t)
+
+    def _proxy_connection(
+        self, index: int, client: socket.socket, script: FaultScript
+    ) -> None:
+        if script.refuse:
+            _close(client, RESET)
+            return
+        if script.accept_delay > 0:
+            self.clock.sleep(script.accept_delay)
+        try:
+            server = socket.create_connection(self.upstream, timeout=self.connect_timeout)
+        except OSError:
+            self._record(f"conn {index}: upstream unreachable")
+            _close(client, RESET)
+            return
+        for s in (client, server):
+            s.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            s.settimeout(0.2)
+        self._track(client, server)
+        # One connection-wide cut latch: whichever direction trips first
+        # wins, and both pumps stop forwarding.
+        state = _ConnState(index, client, server, script, self)
+        pump_in = threading.Thread(
+            target=state.pump, args=(client, server, "in", script.cut_after_in),
+            name=f"fault-pump-in-{index}", daemon=True,
+        )
+        pump_out = threading.Thread(
+            target=state.pump, args=(server, client, "out", script.cut_after_out),
+            name=f"fault-pump-out-{index}", daemon=True,
+        )
+        pump_in.start()
+        pump_out.start()
+        pump_in.join()
+        pump_out.join()
+        self._untrack(client, server)
+        if not state.stalled:
+            _close(client, TRUNCATE)
+            _close(server, TRUNCATE)
+
+
+class _ConnState:
+    """Shared state for the two pump threads of one proxied connection."""
+
+    def __init__(self, index, client, server, script, listener: FaultyListener):
+        self.index = index
+        self.client = client
+        self.server = server
+        self.script = script
+        self.listener = listener
+        self.cut = threading.Event()
+        self.stalled = False
+
+    def _trigger(self, direction: str, forwarded: int) -> None:
+        if self.cut.is_set():
+            return
+        self.cut.set()
+        action = self.script.action
+        self.listener._record(
+            f"conn {self.index}: {action} {direction} at byte {forwarded}"
+        )
+        if action == STALL:
+            # Hold the sockets open but forward nothing more; the peers
+            # hang until their own timeouts or the listener dies.
+            self.stalled = True
+            return
+        _close(self.client, action)
+        _close(self.server, action)
+
+    def pump(self, src: socket.socket, dst: socket.socket, direction: str,
+             cut_after: Optional[int]) -> None:
+        forwarded = 0
+        latency = self.script.latency
+        while not self.cut.is_set() and not self.listener._stop.is_set():
+            if cut_after is not None and forwarded >= cut_after:
+                self._trigger(direction, forwarded)
+                return
+            want = _CHUNK
+            if cut_after is not None:
+                want = min(want, cut_after - forwarded)
+            try:
+                data = src.recv(want)
+            except socket.timeout:
+                continue
+            except OSError:
+                return
+            if not data:
+                # Natural EOF from one side: half-close toward the other
+                # so graceful shutdowns pass through unperturbed.
+                try:
+                    dst.shutdown(socket.SHUT_WR)
+                except OSError:
+                    pass
+                return
+            if latency > 0:
+                self.listener.clock.sleep(latency)
+            if self.cut.is_set():
+                return
+            try:
+                dst.sendall(data)
+            except OSError:
+                return
+            forwarded += len(data)
+
+
+def _close(sock: socket.socket, action: str) -> None:
+    """Close a socket, as an RST (``reset``) or a clean FIN."""
+    try:
+        if action == RESET:
+            sock.setsockopt(
+                socket.SOL_SOCKET, socket.SO_LINGER, struct.pack("ii", 1, 0)
+            )
+    except OSError:
+        pass
+    try:
+        sock.close()
+    except OSError:
+        pass

@@ -1,0 +1,203 @@
+"""Per-endpoint health: a closed → open → half-open circuit breaker.
+
+The paper's adapter retries a lost server with exponential backoff; what
+it lacks is a *shared* notion of "this server is sick".  Without one,
+every handle, every replica open, and every fan-out probe pays the full
+connect timeout against a dead server, over and over.  The breaker here
+is that shared memory, keyed by ``host:port``:
+
+- **closed** -- normal operation; failures are counted.
+- **open** -- ``failure_threshold`` *consecutive* transport failures
+  were observed; every dial is refused instantly with
+  :class:`~repro.util.errors.CircuitOpenError` until ``cooldown``
+  seconds pass.
+- **half-open** -- the cooldown elapsed; exactly **one** probe dial is
+  let through.  Success closes the breaker; failure re-opens it and
+  restarts the cooldown.
+
+Only transport-level events count: dial failures and connections dying
+mid-exchange.  Protocol errors (permission denied, no such file) are the
+server *working*, and never move the breaker.
+
+The registry is consulted by
+:class:`~repro.transport.endpoint.EndpointManager` and surfaced through
+:meth:`MetricsRegistry.snapshot() <repro.transport.metrics.MetricsRegistry.snapshot>`
+so an operator reading metrics sees which servers the client side has
+quarantined.  Clock and thresholds are injectable for deterministic
+tests.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.util.clock import Clock, MonotonicClock
+
+__all__ = [
+    "BreakerPolicy",
+    "EndpointHealth",
+    "HealthRegistry",
+    "STATE_CLOSED",
+    "STATE_OPEN",
+    "STATE_HALF_OPEN",
+]
+
+STATE_CLOSED = "closed"
+STATE_OPEN = "open"
+STATE_HALF_OPEN = "half-open"
+
+
+@dataclass(frozen=True)
+class BreakerPolicy:
+    """When to open a breaker and how long to keep it open.
+
+    :ivar failure_threshold: consecutive transport failures that trip
+        the breaker.
+    :ivar cooldown: seconds an open breaker refuses dials before letting
+        one half-open probe through.
+    """
+
+    failure_threshold: int = 3
+    cooldown: float = 5.0
+
+    def __post_init__(self):
+        if self.failure_threshold < 1:
+            raise ValueError("failure_threshold must be >= 1")
+        if self.cooldown < 0:
+            raise ValueError("cooldown must be >= 0")
+
+
+class EndpointHealth:
+    """Breaker state for one server endpoint.  Thread-safe."""
+
+    def __init__(self, label: str, policy: Optional[BreakerPolicy] = None,
+                 clock: Optional[Clock] = None):
+        self.label = label
+        self.policy = policy or BreakerPolicy()
+        self.clock = clock or MonotonicClock()
+        self._lock = threading.Lock()
+        self._state = STATE_CLOSED
+        self._consecutive = 0
+        self._failures = 0
+        self._successes = 0
+        self._opened_count = 0
+        self._opened_at = 0.0
+        self._probe_outstanding = False
+
+    # -- queries ---------------------------------------------------------
+
+    @property
+    def state(self) -> str:
+        with self._lock:
+            return self._effective_state_locked()
+
+    @property
+    def is_open(self) -> bool:
+        """True while dials would be refused (open, cooldown running)."""
+        with self._lock:
+            return self._effective_state_locked() == STATE_OPEN
+
+    def _effective_state_locked(self) -> str:
+        # An open breaker whose cooldown elapsed *reads* as half-open even
+        # before anyone dials; the transition is committed by allow().
+        if (
+            self._state == STATE_OPEN
+            and self.clock.now() - self._opened_at >= self.policy.cooldown
+        ):
+            return STATE_HALF_OPEN
+        return self._state
+
+    # -- transitions -----------------------------------------------------
+
+    def allow(self) -> bool:
+        """May the caller dial this endpoint right now?
+
+        Consumes the half-open probe slot when it grants one, so exactly
+        one dial goes out per cooldown expiry no matter how many threads
+        ask.
+        """
+        with self._lock:
+            state = self._effective_state_locked()
+            if state == STATE_CLOSED:
+                return True
+            if state == STATE_HALF_OPEN:
+                if self._state == STATE_OPEN:
+                    self._state = STATE_HALF_OPEN
+                    self._probe_outstanding = False
+                if self._probe_outstanding:
+                    return False
+                self._probe_outstanding = True
+                return True
+            return False
+
+    def record_success(self) -> None:
+        with self._lock:
+            self._successes += 1
+            self._consecutive = 0
+            self._probe_outstanding = False
+            self._state = STATE_CLOSED
+
+    def record_failure(self) -> None:
+        with self._lock:
+            self._failures += 1
+            self._consecutive += 1
+            if self._state == STATE_HALF_OPEN:
+                # The probe failed: straight back to open, fresh cooldown.
+                self._trip_locked()
+            elif (
+                self._state == STATE_CLOSED
+                and self._consecutive >= self.policy.failure_threshold
+            ):
+                self._trip_locked()
+
+    def _trip_locked(self) -> None:
+        self._state = STATE_OPEN
+        self._opened_at = self.clock.now()
+        self._opened_count += 1
+        self._probe_outstanding = False
+
+    def snapshot(self) -> dict:
+        with self._lock:
+            return {
+                "state": self._effective_state_locked(),
+                "consecutive_failures": self._consecutive,
+                "failures": self._failures,
+                "successes": self._successes,
+                "opened_count": self._opened_count,
+            }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"EndpointHealth({self.label}, {self.state}, consec={self._consecutive})"
+
+
+class HealthRegistry:
+    """All endpoint breakers for one client stack, keyed ``host:port``."""
+
+    def __init__(self, policy: Optional[BreakerPolicy] = None,
+                 clock: Optional[Clock] = None):
+        self.policy = policy or BreakerPolicy()
+        self.clock = clock or MonotonicClock()
+        self._lock = threading.Lock()
+        self._endpoints: dict[str, EndpointHealth] = {}
+
+    def for_endpoint(self, host: str, port: int) -> EndpointHealth:
+        label = f"{host}:{int(port)}"
+        with self._lock:
+            health = self._endpoints.get(label)
+            if health is None:
+                health = EndpointHealth(label, self.policy, self.clock)
+                self._endpoints[label] = health
+            return health
+
+    def state_of(self, host: str, port: int) -> str:
+        """Peek at an endpoint's state without creating a breaker."""
+        with self._lock:
+            health = self._endpoints.get(f"{host}:{int(port)}")
+        return health.state if health is not None else STATE_CLOSED
+
+    def snapshot(self) -> dict:
+        with self._lock:
+            endpoints = dict(self._endpoints)
+        return {label: h.snapshot() for label, h in sorted(endpoints.items())}

@@ -15,6 +15,7 @@ no allocation beyond the first observation of a verb.
 from __future__ import annotations
 
 import threading
+import weakref
 from typing import Optional
 
 __all__ = ["MetricsRegistry", "LatencyHistogram", "default_registry"]
@@ -100,6 +101,23 @@ class MetricsRegistry:
         self._lock = threading.Lock()
         self._verbs: dict[str, _VerbStats] = {}
         self._endpoints: dict[str, dict[str, int]] = {}
+        # Health registries report through the metrics snapshot so one
+        # read shows both traffic and quarantine state.  Weak references:
+        # metrics outlive any particular client stack (the process-wide
+        # default registry especially), and must not pin dead ones.
+        self._health_sources: list = []  # ordered weakrefs
+
+    def attach_health(self, health) -> None:
+        """Include a health registry's breakers in :meth:`snapshot`.
+
+        ``health`` needs only a ``snapshot() -> dict`` method (see
+        :class:`~repro.transport.health.HealthRegistry`).  Held weakly,
+        in attachment order: when two registries track the same label,
+        the later attachment wins deterministically.
+        """
+        with self._lock:
+            if not any(ref() is health for ref in self._health_sources):
+                self._health_sources.append(weakref.ref(health))
 
     def observe(
         self,
@@ -139,10 +157,19 @@ class MetricsRegistry:
                               "latency": {"count", "sum", "min", "max",
                                           "mean", "p50", "p95", "p99",
                                           "buckets": {...}}}},
-             "endpoints": {"host:port": {"calls", "errors"}}}
+             "endpoints": {"host:port": {"calls", "errors"}},
+             "health": {"host:port": {"state", "consecutive_failures",
+                                      "failures", "successes",
+                                      "opened_count"}}}
+
+        The ``health`` section merges every attached health registry
+        (last writer wins on a duplicate label, which only happens when
+        two stacks independently track the same server).
         """
         with self._lock:
-            return {
+            self._health_sources = [r for r in self._health_sources if r() is not None]
+            sources = [r() for r in self._health_sources]
+            snap = {
                 "verbs": {
                     verb: {
                         "calls": s.calls,
@@ -155,6 +182,14 @@ class MetricsRegistry:
                 },
                 "endpoints": {ep: dict(v) for ep, v in self._endpoints.items()},
             }
+        # Health snapshots take the registries' own locks; do that outside
+        # ours to keep lock ordering trivial.
+        health: dict = {}
+        for source in sources:
+            if source is not None:
+                health.update(source.snapshot())
+        snap["health"] = health
+        return snap
 
     def reset(self) -> None:
         """Drop all recorded data (e.g. between benchmark phases)."""

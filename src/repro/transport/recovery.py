@@ -22,8 +22,9 @@ import random
 from dataclasses import dataclass, field
 from typing import Callable, Optional, TypeVar
 
+from repro.transport.deadline import Deadline
 from repro.util.clock import Clock, MonotonicClock
-from repro.util.errors import DisconnectedError
+from repro.util.errors import DisconnectedError, TimedOutError
 
 __all__ = ["RetryPolicy"]
 
@@ -77,6 +78,7 @@ class RetryPolicy:
         self,
         operation: Callable[[], T],
         recover: Callable[[], None],
+        deadline: Optional[Deadline] = None,
     ) -> T:
         """Run ``operation``; on disconnect, back off, ``recover``, retry.
 
@@ -84,15 +86,38 @@ class RetryPolicy:
         (reconnect, re-open, verify inode); exceptions it raises other
         than :class:`DisconnectedError` propagate immediately (e.g. a
         stale-handle verdict must not be retried away).
+
+        When the retries are exhausted the *original* operation failure
+        is re-raised, with the latest one chained as its cause, so
+        tracebacks name the first fault rather than the last doomed
+        reconnect.
+
+        With a ``deadline``, each backoff sleep is clamped to the
+        remaining budget, and a spent budget raises
+        :class:`TimedOutError` (chained from the original failure)
+        instead of sleeping past it.
         """
         delays = self.delays()
+        original: Optional[DisconnectedError] = None
         while True:
             try:
                 return operation()
             except DisconnectedError as exc:
+                if original is None:
+                    original = exc
                 delay = next(delays, None)
                 if delay is None:
-                    raise  # attempts exhausted: surface the disconnect
+                    # Attempts exhausted: surface the first disconnect.
+                    if exc is original:
+                        raise
+                    raise original from exc
+                if deadline is not None:
+                    remaining = deadline.remaining()
+                    if remaining <= 0:
+                        raise TimedOutError(
+                            f"retry budget of {deadline.budget:g}s exhausted"
+                        ) from original
+                    delay = min(delay, remaining)
                 self.clock.sleep(delay)
                 try:
                     recover()

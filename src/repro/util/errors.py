@@ -33,6 +33,8 @@ __all__ = [
     "NotEmptyError",
     "CrossDeviceLinkError",
     "DisconnectedError",
+    "CircuitOpenError",
+    "PartialFailureError",
     "TimedOutError",
     "StaleHandleError",
     "UnknownError",
@@ -160,6 +162,42 @@ class DisconnectedError(ChirpError):
     """
 
     status = StatusCode.DISCONNECTED
+
+
+class CircuitOpenError(DisconnectedError):
+    """The endpoint's circuit breaker is open: recent consecutive transport
+    failures exceeded the threshold, so calls fail fast without dialing
+    until the cooldown elapses (see :mod:`repro.transport.health`).
+
+    Subclasses :class:`DisconnectedError` so every existing recovery and
+    failover path treats a breaker-rejected endpoint exactly like a dead
+    one -- just without paying for the doomed TCP handshake.
+    """
+
+
+class PartialFailureError(DisconnectedError):
+    """A multi-server operation lost *some* of its servers.
+
+    Raised by striped I/O so the caller learns exactly which stripes died
+    instead of a bare disconnect.  ``failures`` is a tuple of
+    ``(index, "host:port", reason)`` triples, one per failed participant.
+    """
+
+    def __init__(self, message: str = "", failures: tuple = ()):
+        self.failures = tuple(failures)
+        if self.failures and message:
+            names = ", ".join(f"#{i}@{ep}" for i, ep, _ in self.failures)
+            message = f"{message} [{names}]"
+        super().__init__(message)
+
+    @property
+    def endpoints(self) -> tuple[str, ...]:
+        """The distinct ``host:port`` labels that failed."""
+        seen = []
+        for _, ep, _ in self.failures:
+            if ep not in seen:
+                seen.append(ep)
+        return tuple(seen)
 
 
 class TimedOutError(ChirpError):

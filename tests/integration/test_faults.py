@@ -1,0 +1,362 @@
+"""Integration tests: the TCP fault proxy, one-shot retry, idle reaping.
+
+The fault proxy is the PR's test harness for everything the paper says
+about failure ("a server that is lost ... simply results in an error"),
+so it gets behavioural tests of its own: every injected fault must look
+to a client exactly like the real-world failure it models.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+import time
+
+import pytest
+
+from repro.chirp.client import ChirpClient
+from repro.transport.dial import oneshot_exchange
+from repro.transport.faults import (
+    RESET,
+    STALL,
+    TRUNCATE,
+    FaultPlan,
+    FaultScript,
+    FaultyListener,
+)
+from repro.transport.metrics import MetricsRegistry
+from repro.util.errors import DisconnectedError
+
+
+class _EchoServer:
+    """A minimal upstream: echoes whatever each connection sends."""
+
+    def __init__(self):
+        self._sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        self._sock.bind(("127.0.0.1", 0))
+        self._sock.listen(16)
+        self._sock.settimeout(0.2)
+        self.address = self._sock.getsockname()[:2]
+        self._stop = threading.Event()
+        self._thread = threading.Thread(target=self._serve, daemon=True)
+        self._thread.start()
+
+    def _serve(self):
+        while not self._stop.is_set():
+            try:
+                conn, _ = self._sock.accept()
+            except socket.timeout:
+                continue
+            except OSError:
+                return
+            threading.Thread(target=self._echo, args=(conn,), daemon=True).start()
+
+    @staticmethod
+    def _echo(conn):
+        with conn:
+            conn.settimeout(5.0)
+            while True:
+                try:
+                    data = conn.recv(65536)
+                except OSError:
+                    return
+                if not data:
+                    return
+                try:
+                    conn.sendall(data)
+                except OSError:
+                    return
+
+    def close(self):
+        self._stop.set()
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+        self._thread.join(timeout=5)
+
+
+class _OneShotServer:
+    """Reply ``pong:<request>`` then close -- the catalog's protocol shape."""
+
+    def __init__(self):
+        self._sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        self._sock.bind(("127.0.0.1", 0))
+        self._sock.listen(16)
+        self._sock.settimeout(0.2)
+        self.address = self._sock.getsockname()[:2]
+        self._stop = threading.Event()
+        self._thread = threading.Thread(target=self._serve, daemon=True)
+        self._thread.start()
+
+    def _serve(self):
+        while not self._stop.is_set():
+            try:
+                conn, _ = self._sock.accept()
+            except socket.timeout:
+                continue
+            except OSError:
+                return
+            with conn:
+                try:
+                    conn.settimeout(5.0)
+                    data = conn.recv(65536)
+                    conn.sendall(b"pong:" + data)
+                except OSError:
+                    pass
+
+    def close(self):
+        self._stop.set()
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+        self._thread.join(timeout=5)
+
+
+@pytest.fixture()
+def echo():
+    server = _EchoServer()
+    yield server
+    server.close()
+
+
+@pytest.fixture()
+def oneshot_upstream():
+    server = _OneShotServer()
+    yield server
+    server.close()
+
+
+def _connect(address, timeout=5.0) -> socket.socket:
+    sock = socket.create_connection(address, timeout=timeout)
+    sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+    return sock
+
+
+def _attempt(address) -> tuple[bytes, str]:
+    """Connect and drain; a refusal may reset the connect itself."""
+    try:
+        sock = _connect(address)
+    except OSError:
+        return b"", "reset"
+    with sock:
+        sock.settimeout(5.0)
+        return _drain(sock)
+
+
+def _drain(sock) -> tuple[bytes, str]:
+    """Read until EOF or error; classify how the connection ended."""
+    chunks = []
+    while True:
+        try:
+            data = sock.recv(65536)
+        except socket.timeout:
+            return b"".join(chunks), "timeout"
+        except OSError:
+            return b"".join(chunks), "reset"
+        if not data:
+            return b"".join(chunks), "eof"
+        chunks.append(data)
+
+
+class TestFaultyListener:
+    def test_pass_through(self, echo):
+        with FaultyListener(echo.address) as proxy:
+            with _connect(proxy.address) as sock:
+                sock.sendall(b"ping\n")
+                assert sock.recv(64) == b"ping\n"
+            assert proxy.event_log() == ("conn 0: pass",)
+
+    def test_refusal_resets_immediately(self, echo):
+        plan = FaultPlan().script(FaultScript(refuse=True))
+        with FaultyListener(echo.address, plan) as proxy:
+            data, ending = _attempt(proxy.address)
+            assert data == b""
+            assert ending in ("eof", "reset")
+            assert proxy.event_log() == ("conn 0: refuse",)
+
+    def test_truncation_forwards_exactly_n_bytes(self, echo):
+        plan = FaultPlan().script(
+            FaultScript(cut_after_out=4, action=TRUNCATE, note="short-read")
+        )
+        with FaultyListener(echo.address, plan) as proxy:
+            with _connect(proxy.address) as sock:
+                sock.settimeout(5.0)
+                sock.sendall(b"hello!")
+                data, ending = _drain(sock)
+            assert data == b"hell"
+            assert ending == "eof"
+            assert "conn 0: truncate out at byte 4" in proxy.event_log()
+
+    def test_mid_stream_reset(self, echo):
+        plan = FaultPlan().script(FaultScript(cut_after_out=4, action=RESET))
+        with FaultyListener(echo.address, plan) as proxy:
+            with _connect(proxy.address) as sock:
+                sock.settimeout(5.0)
+                sock.sendall(b"hello!")
+                data, ending = _drain(sock)
+            assert len(data) <= 4
+            assert ending == "reset"
+            assert "conn 0: reset out at byte 4" in proxy.event_log()
+
+    def test_stall_holds_the_socket_open(self, echo):
+        plan = FaultPlan().script(FaultScript(cut_after_out=0, action=STALL))
+        with FaultyListener(echo.address, plan) as proxy:
+            with _connect(proxy.address) as sock:
+                sock.settimeout(0.4)
+                sock.sendall(b"anyone there?\n")
+                data, ending = _drain(sock)
+                assert data == b""
+                assert ending == "timeout"  # no EOF, no reset: a hang
+            assert "conn 0: stall out at byte 0" in proxy.event_log()
+
+    def test_accept_delay_adds_latency(self, echo):
+        plan = FaultPlan().script(FaultScript(accept_delay=0.2))
+        with FaultyListener(echo.address, plan) as proxy:
+            start = time.monotonic()
+            with _connect(proxy.address) as sock:
+                sock.settimeout(5.0)
+                sock.sendall(b"ping\n")
+                assert sock.recv(64) == b"ping\n"
+            assert time.monotonic() - start >= 0.15
+
+    def test_break_now_and_restore(self, echo):
+        with FaultyListener(echo.address) as proxy:
+            sock = _connect(proxy.address)
+            sock.settimeout(5.0)
+            sock.sendall(b"one\n")
+            assert sock.recv(64) == b"one\n"
+            proxy.break_now()
+            data, ending = _drain(sock)
+            assert (data, ending) != (b"one\n", "timeout")  # wire is dead
+            sock.close()
+            # New connections are refused while broken ...
+            _, ending = _attempt(proxy.address)
+            assert ending in ("eof", "reset")
+            # ... and pass again after restore().
+            proxy.restore()
+            with _connect(proxy.address) as again:
+                again.settimeout(5.0)
+                again.sendall(b"two\n")
+                assert again.recv(64) == b"two\n"
+            log = proxy.event_log()
+            assert "break_now" in log
+            assert "restore" in log
+            assert any("refused (break_now)" in e for e in log)
+
+    def test_chaos_plans_replay_identically_for_a_seed(self):
+        def draws(seed):
+            plan = FaultPlan.chaos(
+                seed,
+                refuse_rate=0.2,
+                reset_rate=0.2,
+                truncate_rate=0.2,
+                stall_rate=0.1,
+                latency=(0.001, 0.01),
+                cut_range=(10, 500),
+            )
+            return [plan.next_script().describe() for _ in range(32)]
+
+        first = draws(1234)
+        assert draws(1234) == first
+        # With these rates a 32-draw run certainly injects something.
+        assert any(d != "pass" for d in first)
+
+    def test_queued_scripts_take_precedence_over_chaos(self):
+        plan = FaultPlan.chaos(7, refuse_rate=1.0)
+        plan.script(FaultScript(note="first"))
+        assert plan.next_script().note == "first"
+        assert plan.next_script().refuse  # falls back to the chaos draw
+
+
+class TestOneshotRetry:
+    def test_retries_through_a_refused_first_attempt(self, oneshot_upstream):
+        plan = FaultPlan().script(FaultScript(refuse=True))
+        with FaultyListener(oneshot_upstream.address, plan) as proxy:
+            reply = oneshot_exchange(
+                *proxy.address, b"hello", timeout=5.0, retry_delay=0.02
+            )
+            assert reply == b"pong:hello"
+            log = proxy.event_log()
+            assert log[0] == "conn 0: refuse"
+            assert log[1] == "conn 1: pass"
+
+    def test_single_attempt_does_not_retry(self, oneshot_upstream):
+        plan = FaultPlan().script(FaultScript(refuse=True))
+        with FaultyListener(oneshot_upstream.address, plan) as proxy:
+            with pytest.raises(DisconnectedError):
+                oneshot_exchange(
+                    *proxy.address, b"hello", timeout=5.0, attempts=1
+                )
+            assert proxy.event_log() == ("conn 0: refuse",)
+
+    def test_exhausted_attempts_raise_last_failure(self, oneshot_upstream):
+        plan = (
+            FaultPlan()
+            .script(FaultScript(refuse=True))
+            .script(FaultScript(refuse=True))
+        )
+        with FaultyListener(oneshot_upstream.address, plan) as proxy:
+            with pytest.raises(DisconnectedError):
+                oneshot_exchange(
+                    *proxy.address, b"hello", timeout=5.0, retry_delay=0.02
+                )
+            assert len(proxy.event_log()) == 2
+
+    def test_each_attempt_is_metered(self, oneshot_upstream):
+        plan = FaultPlan().script(FaultScript(refuse=True))
+        metrics = MetricsRegistry()
+        with FaultyListener(oneshot_upstream.address, plan) as proxy:
+            oneshot_exchange(
+                *proxy.address,
+                b"hi",
+                timeout=5.0,
+                metric="catalog",
+                metrics=metrics,
+                retry_delay=0.02,
+            )
+        verb = metrics.snapshot()["verbs"]["catalog"]
+        assert verb["calls"] == 2
+        assert verb["errors"] == 1
+
+
+class TestIdleReaper:
+    def test_silent_connection_is_reaped(self, server_factory, credentials):
+        server = server_factory.new(idle_timeout=0.3)
+        client = ChirpClient(*server.address, credentials=credentials, timeout=5.0)
+        try:
+            assert client.getdir("/") == []
+            deadline = time.monotonic() + 5.0
+            while server.reaped_connections == 0 and time.monotonic() < deadline:
+                time.sleep(0.05)
+            assert server.reaped_connections >= 1
+            with pytest.raises(DisconnectedError):
+                client.getdir("/")
+        finally:
+            client.close()
+
+    def test_active_connection_survives(self, server_factory, credentials):
+        server = server_factory.new(idle_timeout=0.75)
+        client = ChirpClient(*server.address, credentials=credentials, timeout=5.0)
+        try:
+            # Keep talking for longer than the idle timeout; each request
+            # refreshes the activity clock, so the reaper never fires.
+            for _ in range(5):
+                assert client.getdir("/") == []
+                time.sleep(0.25)
+            assert client.getdir("/") == []
+            assert server.reaped_connections == 0
+        finally:
+            client.close()
+
+    def test_reaper_disabled_by_default(self, server_factory, credentials):
+        server = server_factory.new()
+        client = ChirpClient(*server.address, credentials=credentials, timeout=5.0)
+        try:
+            assert client.getdir("/") == []
+            time.sleep(0.3)
+            assert client.getdir("/") == []
+            assert server.reaped_connections == 0
+        finally:
+            client.close()

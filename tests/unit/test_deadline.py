@@ -1,0 +1,187 @@
+"""Deadline budgets and their propagation through retry and fan-out."""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.transport.deadline import Deadline
+from repro.transport.fanout import FanoutPool
+from repro.transport.recovery import RetryPolicy
+from repro.util.clock import ManualClock
+from repro.util.errors import DisconnectedError, StaleHandleError, TimedOutError
+
+
+class TestDeadline:
+    def test_remaining_counts_down(self):
+        clock = ManualClock()
+        d = Deadline(10.0, clock)
+        assert d.remaining() == pytest.approx(10.0)
+        clock.advance(4)
+        assert d.remaining() == pytest.approx(6.0)
+        assert not d.expired
+
+    def test_remaining_clamps_at_zero(self):
+        clock = ManualClock()
+        d = Deadline(1.0, clock)
+        clock.advance(5)
+        assert d.remaining() == 0.0
+        assert d.expired
+
+    def test_negative_budget_rejected(self):
+        with pytest.raises(ValueError):
+            Deadline(-1.0)
+
+    def test_check_raises_when_spent(self):
+        clock = ManualClock()
+        d = Deadline(1.0, clock)
+        d.check("op")  # fine while budget remains
+        clock.advance(2)
+        with pytest.raises(TimedOutError, match="deadline of 1s exceeded"):
+            d.check("op")
+
+    def test_bound_clamps_step_timeout(self):
+        clock = ManualClock()
+        d = Deadline(10.0, clock)
+        assert d.bound(30.0) == pytest.approx(10.0)
+        assert d.bound(3.0) == pytest.approx(3.0)
+        assert d.bound(None) == pytest.approx(10.0)
+        clock.advance(10)
+        with pytest.raises(TimedOutError):
+            d.bound(3.0)
+
+    def test_after_alias(self):
+        clock = ManualClock()
+        assert Deadline.after(2.0, clock).remaining() == pytest.approx(2.0)
+
+
+class _Flaky:
+    """Fails ``failures`` times with DisconnectedError, then succeeds."""
+
+    def __init__(self, failures: int):
+        self.failures = failures
+        self.calls = 0
+
+    def __call__(self):
+        self.calls += 1
+        if self.calls <= self.failures:
+            raise DisconnectedError(f"boom #{self.calls}")
+        return "ok"
+
+
+class TestRetryDeadline:
+    def make_policy(self, clock, **overrides):
+        defaults = dict(max_attempts=5, initial_delay=1.0, multiplier=2.0, clock=clock)
+        defaults.update(overrides)
+        return RetryPolicy(**defaults)
+
+    def test_sleeps_clamped_to_remaining_budget(self):
+        clock = ManualClock()
+        policy = self.make_policy(clock)
+        deadline = Deadline(1.5, clock)
+        op = _Flaky(2)
+        assert policy.run(op, lambda: None, deadline=deadline) == "ok"
+        # Backoff wanted 1.0 + 2.0 = 3.0s; budget allowed 1.0 + 0.5.
+        assert clock.now() == pytest.approx(1.5)
+
+    def test_spent_budget_raises_timeout_chained_from_original(self):
+        clock = ManualClock()
+        policy = self.make_policy(clock)
+        deadline = Deadline(1.0, clock)
+        op = _Flaky(99)
+        with pytest.raises(TimedOutError) as info:
+            policy.run(op, lambda: None, deadline=deadline)
+        assert isinstance(info.value.__cause__, DisconnectedError)
+        assert "boom #1" in str(info.value.__cause__)
+
+    def test_without_deadline_behaviour_unchanged(self):
+        clock = ManualClock()
+        policy = self.make_policy(clock, max_attempts=3)
+        op = _Flaky(2)
+        assert policy.run(op, lambda: None) == "ok"
+        assert clock.now() == pytest.approx(3.0)  # 1 + 2, uncapped
+
+
+class TestRetryOriginalErrorChaining:
+    def test_exhaustion_reraises_first_fault(self):
+        clock = ManualClock()
+        policy = RetryPolicy(max_attempts=3, initial_delay=0.1, clock=clock)
+        op = _Flaky(99)
+        with pytest.raises(DisconnectedError) as info:
+            policy.run(op, lambda: None)
+        assert "boom #1" in str(info.value)
+        # ...with the last failure in the chain for context.
+        assert isinstance(info.value.__cause__, DisconnectedError)
+        assert "boom #3" in str(info.value.__cause__)
+
+    def test_single_attempt_raises_bare_original(self):
+        policy = RetryPolicy(max_attempts=1, clock=ManualClock())
+        op = _Flaky(99)
+        with pytest.raises(DisconnectedError) as info:
+            policy.run(op, lambda: None)
+        assert "boom #1" in str(info.value)
+        assert info.value.__cause__ is None
+
+    def test_non_disconnect_from_recover_propagates(self):
+        policy = RetryPolicy(max_attempts=3, initial_delay=0.01, clock=ManualClock())
+
+        def recover():
+            raise StaleHandleError("file changed identity")
+
+        with pytest.raises(StaleHandleError):
+            policy.run(_Flaky(99), recover)
+
+
+class TestFanoutDeadline:
+    def test_completes_within_budget(self):
+        pool = FanoutPool(4)
+        try:
+            deadline = Deadline(30.0)
+            assert pool.run([lambda: 1, lambda: 2, lambda: 3], deadline) == [1, 2, 3]
+        finally:
+            pool.shutdown()
+
+    def test_expired_budget_raises_timeout(self):
+        pool = FanoutPool(2)
+        try:
+            deadline = Deadline(0.15)
+
+            def slow():
+                time.sleep(1.0)
+                return "late"
+
+            start = time.monotonic()
+            with pytest.raises(TimedOutError):
+                pool.run([slow, slow, slow], deadline)
+            assert time.monotonic() - start < 0.9  # did not wait the full task
+        finally:
+            pool.shutdown()
+
+    def test_serial_pool_checks_deadline_between_tasks(self):
+        pool = FanoutPool(1)
+        clock = ManualClock()
+        deadline = Deadline(1.0, clock)
+
+        def step():
+            clock.advance(0.7)
+            return "x"
+
+        with pytest.raises(TimedOutError):
+            pool.run([step, step, step], deadline)
+
+    def test_task_error_beats_timeout_in_task_order(self):
+        pool = FanoutPool(2)
+        try:
+            deadline = Deadline(0.2)
+
+            def fail():
+                raise DisconnectedError("first failure")
+
+            def slow():
+                time.sleep(1.0)
+
+            with pytest.raises(DisconnectedError, match="first failure"):
+                pool.run([fail, slow], deadline)
+        finally:
+            pool.shutdown()

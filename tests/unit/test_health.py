@@ -1,0 +1,194 @@
+"""Circuit-breaker state machine: closed -> open -> half-open."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.transport.health import (
+    BreakerPolicy,
+    EndpointHealth,
+    HealthRegistry,
+    STATE_CLOSED,
+    STATE_HALF_OPEN,
+    STATE_OPEN,
+)
+from repro.transport.metrics import MetricsRegistry
+from repro.util.clock import ManualClock
+
+
+def make_health(threshold=3, cooldown=5.0):
+    clock = ManualClock()
+    health = EndpointHealth(
+        "s1:9094", BreakerPolicy(failure_threshold=threshold, cooldown=cooldown), clock
+    )
+    return health, clock
+
+
+class TestBreakerPolicy:
+    def test_defaults(self):
+        policy = BreakerPolicy()
+        assert policy.failure_threshold >= 1
+        assert policy.cooldown >= 0
+
+    def test_rejects_bad_threshold(self):
+        with pytest.raises(ValueError):
+            BreakerPolicy(failure_threshold=0)
+
+    def test_rejects_negative_cooldown(self):
+        with pytest.raises(ValueError):
+            BreakerPolicy(cooldown=-1)
+
+
+class TestStateMachine:
+    def test_starts_closed_and_allows(self):
+        health, _ = make_health()
+        assert health.state == STATE_CLOSED
+        assert health.allow()
+        assert not health.is_open
+
+    def test_opens_after_threshold_consecutive_failures(self):
+        health, _ = make_health(threshold=3)
+        health.record_failure()
+        health.record_failure()
+        assert health.state == STATE_CLOSED
+        health.record_failure()
+        assert health.state == STATE_OPEN
+        assert health.is_open
+        assert not health.allow()
+
+    def test_success_resets_consecutive_count(self):
+        health, _ = make_health(threshold=3)
+        health.record_failure()
+        health.record_failure()
+        health.record_success()
+        health.record_failure()
+        health.record_failure()
+        assert health.state == STATE_CLOSED
+
+    def test_half_open_after_cooldown(self):
+        health, clock = make_health(threshold=1, cooldown=10.0)
+        health.record_failure()
+        assert health.state == STATE_OPEN
+        clock.advance(9.9)
+        assert health.state == STATE_OPEN
+        clock.advance(0.2)
+        assert health.state == STATE_HALF_OPEN
+        assert not health.is_open
+
+    def test_half_open_admits_exactly_one_probe(self):
+        health, clock = make_health(threshold=1, cooldown=1.0)
+        health.record_failure()
+        clock.advance(1.5)
+        assert health.allow()  # the single probe
+        assert not health.allow()  # second caller refused
+        assert not health.allow()
+
+    def test_probe_success_closes(self):
+        health, clock = make_health(threshold=1, cooldown=1.0)
+        health.record_failure()
+        clock.advance(1.5)
+        assert health.allow()
+        health.record_success()
+        assert health.state == STATE_CLOSED
+        assert health.allow() and health.allow()  # back to normal
+
+    def test_probe_failure_reopens_with_fresh_cooldown(self):
+        health, clock = make_health(threshold=1, cooldown=1.0)
+        health.record_failure()
+        clock.advance(1.5)
+        assert health.allow()
+        health.record_failure()
+        assert health.state == STATE_OPEN
+        assert not health.allow()
+        clock.advance(0.5)  # cooldown restarted at the probe failure
+        assert health.state == STATE_OPEN
+        clock.advance(0.6)
+        assert health.allow()
+
+    def test_snapshot_counts(self):
+        health, clock = make_health(threshold=2, cooldown=1.0)
+        health.record_success()
+        health.record_failure()
+        health.record_failure()
+        snap = health.snapshot()
+        assert snap["state"] == STATE_OPEN
+        assert snap["failures"] == 2
+        assert snap["successes"] == 1
+        assert snap["consecutive_failures"] == 2
+        assert snap["opened_count"] == 1
+        clock.advance(1.5)
+        health.allow()
+        health.record_failure()
+        assert health.snapshot()["opened_count"] == 2
+
+    def test_allow_is_single_probe_under_contention(self):
+        health, clock = make_health(threshold=1, cooldown=1.0)
+        health.record_failure()
+        clock.advance(1.5)
+        grants = []
+        barrier = threading.Barrier(8)
+
+        def contend():
+            barrier.wait()
+            if health.allow():
+                grants.append(1)
+
+        threads = [threading.Thread(target=contend) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len(grants) == 1
+
+
+class TestHealthRegistry:
+    def test_same_endpoint_same_breaker(self):
+        registry = HealthRegistry(clock=ManualClock())
+        a = registry.for_endpoint("host", 9094)
+        b = registry.for_endpoint("host", 9094)
+        assert a is b
+        assert registry.for_endpoint("host", 9095) is not a
+
+    def test_state_of_does_not_create(self):
+        registry = HealthRegistry(clock=ManualClock())
+        assert registry.state_of("ghost", 1) == STATE_CLOSED
+        assert registry.snapshot() == {}
+
+    def test_snapshot_keyed_by_label(self):
+        registry = HealthRegistry(
+            BreakerPolicy(failure_threshold=1, cooldown=9), ManualClock()
+        )
+        registry.for_endpoint("b", 2).record_failure()
+        registry.for_endpoint("a", 1).record_success()
+        snap = registry.snapshot()
+        assert list(snap) == ["a:1", "b:2"]
+        assert snap["b:2"]["state"] == STATE_OPEN
+        assert snap["a:1"]["state"] == STATE_CLOSED
+
+
+class TestMetricsIntegration:
+    def test_snapshot_carries_health_section(self):
+        metrics = MetricsRegistry()
+        registry = HealthRegistry(
+            BreakerPolicy(failure_threshold=1, cooldown=9), ManualClock()
+        )
+        metrics.attach_health(registry)
+        registry.for_endpoint("dead", 1).record_failure()
+        snap = metrics.snapshot()
+        assert snap["health"]["dead:1"]["state"] == STATE_OPEN
+
+    def test_health_section_empty_without_attachment(self):
+        assert MetricsRegistry().snapshot()["health"] == {}
+
+    def test_attached_registry_held_weakly(self):
+        import gc
+
+        metrics = MetricsRegistry()
+        registry = HealthRegistry()
+        registry.for_endpoint("x", 1)
+        metrics.attach_health(registry)
+        del registry
+        gc.collect()
+        assert metrics.snapshot()["health"] == {}
