@@ -8,6 +8,7 @@ changed by the time a file server is actually contacted.
 from __future__ import annotations
 
 import json
+from typing import Optional
 
 from repro.catalog.report import ServerReport
 from repro.transport.dial import oneshot_exchange
@@ -61,6 +62,21 @@ class CatalogClient:
         if reachable == 0:
             raise DisconnectedError("no catalog was reachable")
         return sorted(merged.values(), key=lambda r: r.name)
+
+    def try_discover(self) -> Optional[list[ServerReport]]:
+        """Like :meth:`discover`, but None when no catalog is reachable.
+
+        The membership-refresh form: a long-running keeper polling the
+        catalog must distinguish "the catalog says nothing about server
+        X" (evidence of absence -- age the server toward suspicion) from
+        "I could not reach any catalog" (no evidence at all -- keep the
+        previous view).  Collapsing the two into an exception or an
+        empty list would let a catalog outage condemn every server.
+        """
+        try:
+            return self.discover()
+        except (DisconnectedError, TimedOutError):
+            return None
 
     def find_space(self, min_free_bytes: int) -> list[ServerReport]:
         """Servers advertising at least ``min_free_bytes`` free.

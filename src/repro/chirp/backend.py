@@ -85,12 +85,14 @@ class LocalBackend:
         *,
         quota_bytes: int | None = None,
         root_acl: Acl | None = None,
+        sync_meta: bool = True,
     ):
         self.root = os.path.realpath(root)
         if not os.path.isdir(self.root):
             raise NotADirectoryError(f"export root {root!r} is not a directory")
         self.owner_subject = owner_subject
         self.quota_bytes = quota_bytes
+        self.sync_meta = sync_meta
         self._lock = threading.Lock()
         if load_acl(self.root) is None:
             store_acl(self.root, root_acl or Acl.owner_default(owner_subject))
@@ -100,6 +102,29 @@ class LocalBackend:
     # ------------------------------------------------------------------
     # path and ACL plumbing
     # ------------------------------------------------------------------
+
+    def _fsync_dir(self, real_path: str) -> None:
+        """Flush a directory's entry table to stable storage.
+
+        An unlink/rename/mkdir that only reaches the page cache can be
+        undone by a crash, leaving the namespace disagreeing with what a
+        client was told succeeded -- fatal for a replica store whose
+        database trusts those answers.  POSIX requires fsyncing the
+        *parent directory* to make a namespace change durable; syncing
+        the file alone is not enough.
+        """
+        if not self.sync_meta:
+            return
+        try:
+            fd = os.open(real_path, os.O_RDONLY | getattr(os, "O_DIRECTORY", 0))
+        except OSError:
+            return  # directory vanished or platform refuses; best effort
+        try:
+            os.fsync(fd)
+        except OSError:
+            pass
+        finally:
+            os.close(fd)
 
     def _real(self, vpath: str) -> str:
         try:
@@ -254,6 +279,7 @@ class LocalBackend:
             os.unlink(real)
         except OSError as exc:
             raise _wrap_os_error(exc, vpath) from exc
+        self._fsync_dir(os.path.dirname(real))
 
     def rename(self, subject: str, vold: str, vnew: str) -> None:
         self._forbid_acl_name(vold)
@@ -264,10 +290,16 @@ class LocalBackend:
             raise InvalidRequestError("cannot rename the root")
         self._check_any(subject, old_parent, "wd")
         self._check(subject, new_parent, "w")
+        real_old, real_new = self._real(vold), self._real(vnew)
         try:
-            os.rename(self._real(vold), self._real(vnew))
+            os.rename(real_old, real_new)
         except OSError as exc:
             raise _wrap_os_error(exc, vold) from exc
+        # Both directory entries changed; a crash must not resurrect the
+        # old name or lose the new one.
+        self._fsync_dir(os.path.dirname(real_new))
+        if os.path.dirname(real_old) != os.path.dirname(real_new):
+            self._fsync_dir(os.path.dirname(real_old))
 
     def mkdir(self, subject: str, vpath: str, mode: int) -> None:
         """Create a directory, applying reserve-right semantics.
@@ -298,6 +330,7 @@ class LocalBackend:
             os.mkdir(real, mode & 0o777)
         except OSError as exc:
             raise _wrap_os_error(exc, vpath) from exc
+        self._fsync_dir(os.path.dirname(real))
         if reserved:
             store_acl(real, acl.reserved_for(subject))
 
@@ -324,6 +357,7 @@ class LocalBackend:
         except OSError as exc:
             # Restore the ACL file if the rmdir failed for another reason.
             raise _wrap_os_error(exc, vpath) from exc
+        self._fsync_dir(os.path.dirname(real))
 
     def getdir(self, subject: str, vpath: str) -> list[str]:
         self._check(subject, vpath, "l")

@@ -41,6 +41,7 @@ from repro.auth.acl import Acl
 from repro.auth.methods import ClientCredentials
 from repro.chirp.protocol import ChirpStat, OpenFlags, StatFs
 from repro.transport.connection import Connection
+from repro.transport.deadline import Deadline
 from repro.transport.endpoint import Endpoint
 from repro.transport.metrics import MetricsRegistry
 from repro.util.errors import (
@@ -247,8 +248,8 @@ class ChirpClient:
 
     # -- namespace ------------------------------------------------------
 
-    def stat(self, path: str) -> ChirpStat:
-        return self._stateless(lambda c: c.stat(path))
+    def stat(self, path: str, deadline: Optional[Deadline] = None) -> ChirpStat:
+        return self._stateless(lambda c: c.stat(path, deadline=deadline))
 
     def lstat(self, path: str) -> ChirpStat:
         return self._stateless(lambda c: c.lstat(path))
@@ -276,8 +277,8 @@ class ChirpClient:
     def rmdir(self, path: str) -> None:
         self._stateless(lambda c: c.rmdir(path))
 
-    def getdir(self, path: str) -> list[str]:
-        return self._stateless(lambda c: c.getdir(path))
+    def getdir(self, path: str, deadline: Optional[Deadline] = None) -> list[str]:
+        return self._stateless(lambda c: c.getdir(path, deadline=deadline))
 
     def truncate(self, path: str, size: int) -> None:
         self._stateless(lambda c: c.truncate(path, size))
@@ -285,8 +286,8 @@ class ChirpClient:
     def utime(self, path: str, atime: int, mtime: int) -> None:
         self._stateless(lambda c: c.utime(path, atime, mtime))
 
-    def checksum(self, path: str) -> str:
-        return self._stateless(lambda c: c.checksum(path))
+    def checksum(self, path: str, deadline: Optional[Deadline] = None) -> str:
+        return self._stateless(lambda c: c.checksum(path, deadline=deadline))
 
     # -- streaming whole files -------------------------------------------
 

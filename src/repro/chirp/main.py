@@ -52,6 +52,13 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--report-interval", type=float, default=60.0)
     parser.add_argument("--quota-bytes", type=int, default=None)
     parser.add_argument(
+        "--sync-meta",
+        action=argparse.BooleanOptionalAction,
+        default=True,
+        help="fsync parent directories after namespace changes "
+        "(--no-sync-meta trades crash durability for speed)",
+    )
+    parser.add_argument(
         "--idle-timeout",
         type=float,
         default=None,
@@ -82,6 +89,7 @@ def main(argv: list[str] | None = None) -> int:
         catalog_addrs=tuple(catalogs),
         report_interval=args.report_interval,
         quota_bytes=args.quota_bytes,
+        sync_meta=args.sync_meta,
         idle_timeout=args.idle_timeout,
     )
     server = FileServer(config)

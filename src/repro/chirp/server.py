@@ -61,6 +61,11 @@ class ServerConfig:
     catalog_addrs: tuple[tuple[str, int], ...] = ()
     report_interval: float = 5.0
     quota_bytes: int | None = None
+    #: fsync parent directories after namespace changes (unlink, rename,
+    #: mkdir, rmdir) so a host crash cannot silently undo them.  Costs a
+    #: disk flush per metadata operation; operators who accept that risk
+    #: for speed can turn it off with ``--no-sync-meta``.
+    sync_meta: bool = True
     max_open_files: int = 256
     #: Close connections silent for this many seconds (``None`` disables
     #: the reaper).  Protects worker threads from slow-loris clients that
@@ -116,7 +121,10 @@ class FileServer:
     def __init__(self, config: ServerConfig):
         self.config = config
         self.backend = LocalBackend(
-            config.root, config.owner, quota_bytes=config.quota_bytes
+            config.root,
+            config.owner,
+            quota_bytes=config.quota_bytes,
+            sync_meta=config.sync_meta,
         )
         self._listener: socket.socket | None = None
         self._threads: list[threading.Thread] = []

@@ -142,6 +142,83 @@ def _cmd_fsck(adapter: Adapter, args) -> int:
     return 0 if (report.clean or args.repair) else 1
 
 
+def _cmd_keeper(adapter: Adapter, args) -> int:
+    from repro.catalog.client import CatalogClient
+    from repro.core.dsdb import DSDB
+    from repro.db.client import DatabaseClient
+    from repro.gems.keeper import Keeper, KeeperConfig
+    from repro.gems.policy import BudgetGreedyPolicy, FixedCountPolicy
+
+    db_host, _, db_port = args.db.rpartition(":")
+    servers = []
+    for spec in args.server:
+        host, _, port = spec.rpartition(":")
+        servers.append((host, int(port)))
+    catalogs = []
+    for spec in args.catalog:
+        host, _, port = spec.rpartition(":")
+        catalogs.append((host, int(port)))
+    if not servers and not catalogs:
+        print("tss keeper needs --server and/or --catalog", file=sys.stderr)
+        return 2
+    catalog = CatalogClient(catalogs) if catalogs else None
+    if catalog is not None and not servers:
+        # Bootstrap the server set from the catalog before building the
+        # DSDB (which requires at least one server).
+        reports = catalog.try_discover()
+        servers = [
+            (r.host, r.port) for r in (reports or []) if r.type == "chirp"
+        ]
+        if not servers:
+            print("tss keeper: no servers discovered from catalog", file=sys.stderr)
+            return 1
+    if args.budget_bytes is not None:
+        policy = BudgetGreedyPolicy(args.budget_bytes)
+    else:
+        policy = FixedCountPolicy(args.copies)
+    db = DatabaseClient(db_host, int(db_port))
+    try:
+        dsdb = DSDB(db, adapter.pool, servers, volume=args.volume)
+        keeper = Keeper(
+            dsdb,
+            policy,
+            KeeperConfig(
+                state_dir=args.state_dir,
+                scan_batch=args.scan_batch,
+                records_per_sec=args.records_per_sec,
+                repair_bytes_per_sec=args.repair_bytes_per_sec,
+                catalog_lifetime=args.catalog_lifetime,
+                tick_interval=args.tick_interval,
+            ),
+            catalog=catalog,
+        )
+        if args.passes is not None:
+            ticks = keeper.run_passes(args.passes)
+            snap = keeper.snapshot()
+            print(f"passes    {args.passes} ({len(ticks)} ticks)")
+            print(f"scanned   {snap['records_scanned']} records")
+            print(f"dropped   {snap['dropped']} bad replicas")
+            print(f"repaired  {snap['repairs_committed']} "
+                  f"(+{snap['proactive_copies']} proactive, "
+                  f"{snap['repairs_aborted']} aborted)")
+            keeper.journal.close()
+            return 0
+        import signal
+        import threading
+
+        keeper.start()
+        print(f"tss keeper: guarding volume {args.volume!r} "
+              f"({len(servers)} servers); journal in {args.state_dir}")
+        stop = threading.Event()
+        signal.signal(signal.SIGINT, lambda *_: stop.set())
+        signal.signal(signal.SIGTERM, lambda *_: stop.set())
+        stop.wait()
+        keeper.stop()
+        return 0
+    finally:
+        db.close()
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(prog="tss", description=__doc__)
     sub = parser.add_subparsers(dest="command", required=True)
@@ -197,6 +274,35 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("catalog", metavar="HOST:PORT")
     p.add_argument("--format", default="text", choices=("text", "json"))
     p.set_defaults(fn=_cmd_catalog)
+
+    p = sub.add_parser(
+        "keeper", help="run the GEMS self-healing daemon over a DSDB"
+    )
+    p.add_argument("--db", required=True, metavar="HOST:PORT",
+                   help="metadata database server")
+    p.add_argument("--server", action="append", default=[],
+                   metavar="HOST:PORT", help="file server (repeatable)")
+    p.add_argument("--catalog", action="append", default=[],
+                   metavar="HOST:PORT",
+                   help="catalog for dynamic membership (repeatable)")
+    p.add_argument("--volume", default="dsdb")
+    p.add_argument("--state-dir", default=".tss-keeper",
+                   help="where the scan cursor and repair journal live")
+    p.add_argument("--budget-bytes", type=int, default=None,
+                   help="replicate up to this many stored bytes (GEMS budget)")
+    p.add_argument("--copies", type=int, default=2,
+                   help="target copies per record when no byte budget is given")
+    p.add_argument("--passes", type=int, default=None,
+                   help="run this many full scans and exit (default: run forever)")
+    p.add_argument("--scan-batch", type=int, default=64)
+    p.add_argument("--records-per-sec", type=float, default=None,
+                   help="audit rate budget (default: unmetered)")
+    p.add_argument("--repair-bytes-per-sec", type=float, default=None,
+                   help="repair copy rate budget (default: unmetered)")
+    p.add_argument("--catalog-lifetime", type=float, default=900.0,
+                   help="seconds absent from the catalog before a server is suspect")
+    p.add_argument("--tick-interval", type=float, default=1.0)
+    p.set_defaults(fn=_cmd_keeper)
 
     p = sub.add_parser("fsck", help="audit (and repair) a DSFS volume")
     p.add_argument("volume", metavar="/dsfs/HOST:PORT@VOLUME")

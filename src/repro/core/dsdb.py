@@ -38,6 +38,7 @@ from repro.util.errors import (
     ChirpError,
     DisconnectedError,
     DoesNotExistError,
+    TryAgainError,
 )
 
 __all__ = ["DSDB", "Replica", "RecordStore"]
@@ -139,8 +140,18 @@ class DSDB:
     ) -> Replica:
         """Store one copy on a fresh server; returns the replica descriptor."""
         endpoint = tuple(self.placement.choose(self.servers, exclude))
+        return self._store_bytes(endpoint, data_or_file)
+
+    def _store_bytes(
+        self,
+        endpoint: tuple[str, int],
+        data_or_file: Union[bytes, BinaryIO],
+        path: Optional[str] = None,
+    ) -> Replica:
+        """Store one copy on a *given* server; returns the replica descriptor."""
         self._ensure_dir(endpoint)
-        path = self.data_dir + "/" + unique_data_name()
+        if path is None:
+            path = self.data_dir + "/" + unique_data_name()
         client = self.pool.get(*endpoint)
         if isinstance(data_or_file, (bytes, bytearray, memoryview)):
             client.putfile(path, bytes(data_or_file))
@@ -225,6 +236,23 @@ class DSDB:
         q = Query.where(tss_kind=FILE_KIND, **equalities)
         return self.db.query(q)
 
+    def scan_records(
+        self, after: Optional[str] = None, limit: Optional[int] = None
+    ) -> list[dict]:
+        """File records in id order, resuming past a cursor.
+
+        The incremental-audit primitive: callers remember the last id
+        they processed and pass it back as ``after``, so a scan
+        interrupted (or rate-limited) mid-way continues where it stopped
+        instead of restarting from the first record.  An empty result
+        means the cursor reached the end of the keyspace.
+        """
+        q = Query.where(tss_kind=FILE_KIND)
+        if after is not None:
+            q = q.and_("id", "gt", after)
+        records = sorted(self.db.query(q), key=lambda r: r["id"])
+        return records[:limit] if limit is not None else records
+
     def get(self, rid: str) -> Optional[dict]:
         return self.db.get(rid)
 
@@ -297,30 +325,84 @@ class DSDB:
             return "missing"
         return "ok" if digest == record["checksum"] else "damaged"
 
-    def add_replica(self, record_or_id: Union[dict, str]) -> Optional[dict]:
+    def copy_replica(
+        self,
+        record_or_id: Union[dict, str],
+        endpoint: tuple[str, int],
+        path: Optional[str] = None,
+        verify: bool = False,
+    ) -> Replica:
+        """Stream a live replica onto a *chosen* server; no record update.
+
+        The mechanism half of journaled repair: the caller picks the
+        target (and may pre-generate ``path`` so a crash leaves a
+        findable orphan), this method moves the bytes, and
+        :meth:`attach_replica` commits the result to the record --
+        letting a repair journal write its intent entry between the two.
+
+        With ``verify=True`` the freshly written copy is read back via
+        the server-side ``checksum`` RPC before being returned; a
+        mismatch (torn write, lying server, bit rot in flight) removes
+        the copy and raises :class:`TryAgainError`, so a bad copy can
+        never be attached as live.
+
+        Raises :class:`ChirpError` when no live source exists or the
+        copy itself fails.
+        """
+        record = self._resolve(record_or_id)
+        if not live_replicas(record):
+            raise DoesNotExistError(
+                f"{record.get('name', record.get('id'))}: no live source replica"
+            )
+        with tempfile.TemporaryFile() as spool:
+            self.fetch(record, sink=spool)
+            spool.seek(0)
+            new_rep = self._store_bytes(tuple(endpoint), spool, path)
+        if verify:
+            client = self.pool.get(new_rep["host"], new_rep["port"])
+            digest = client.checksum(new_rep["path"])
+            if digest != record.get("checksum"):
+                try:
+                    client.unlink(new_rep["path"])
+                except ChirpError:
+                    pass  # an auditor pass will reap the orphan
+                raise TryAgainError(
+                    f"{new_rep['path']}: verify-after-write checksum mismatch"
+                )
+        return new_rep
+
+    def attach_replica(
+        self, record_or_id: Union[dict, str], replica: Replica
+    ) -> dict:
+        """Commit a copied replica into its record (the repair 'commit')."""
+        record = self._resolve(record_or_id)
+        replicas = record.get("replicas", []) + [dict(replica)]
+        return self.db.update(record["id"], {"replicas": replicas})
+
+    def add_replica(
+        self,
+        record_or_id: Union[dict, str],
+        target: Optional[tuple[str, int]] = None,
+    ) -> Optional[dict]:
         """Copy a live replica onto a server that lacks one.
 
         Streams through a local spool file, so arbitrarily large files
-        replicate in constant memory.  Returns the updated record, or
+        replicate in constant memory.  ``target`` pins the destination
+        server; when omitted the placement policy chooses among servers
+        not already holding a copy.  Returns the updated record, or
         None when no live source or no eligible target exists.
         """
         record = self._resolve(record_or_id)
-        sources = live_replicas(record)
-        if not sources:
-            return None
         occupied = frozenset(
             (r["host"], r["port"]) for r in record.get("replicas", [])
         )
         try:
-            with tempfile.TemporaryFile() as spool:
-                self.fetch(record, sink=spool)
-                spool.seek(0)
-                new_rep = self._place_bytes(spool, occupied)
+            if target is None:
+                target = tuple(self.placement.choose(self.servers, occupied))
+            new_rep = self.copy_replica(record, target)
         except (LookupError, ChirpError):
             return None
-        replicas = record.get("replicas", []) + [new_rep]
-        updated = self.db.update(record["id"], {"replicas": replicas})
-        return updated
+        return self.attach_replica(record, new_rep)
 
     def drop_replica(self, record_or_id: Union[dict, str], replica: Replica) -> dict:
         """Remove one replica's data and forget it in the record."""

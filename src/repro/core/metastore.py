@@ -91,9 +91,27 @@ class MetadataStore(ABC):
 class LocalMetadataStore(MetadataStore):
     """Directory tree in a private local filesystem (the DPFS case)."""
 
-    def __init__(self, root: str):
+    def __init__(self, root: str, sync_meta: bool = True):
         self.root = os.path.realpath(root)
+        self.sync_meta = sync_meta
         os.makedirs(self.root, exist_ok=True)
+
+    def _fsync_dir(self, real_path: str) -> None:
+        # The stub-creation protocol's crash-safety rests on the O_EXCL
+        # create being durable; that requires syncing the parent
+        # directory's entry table, not just the new file's data.
+        if not self.sync_meta:
+            return
+        try:
+            fd = os.open(real_path, os.O_RDONLY | getattr(os, "O_DIRECTORY", 0))
+        except OSError:
+            return
+        try:
+            os.fsync(fd)
+        except OSError:
+            pass
+        finally:
+            os.close(fd)
 
     def _real(self, path: str) -> str:
         try:
@@ -132,8 +150,11 @@ class LocalMetadataStore(MetadataStore):
             raise self._wrap(exc, path) from exc
         try:
             os.write(fd, content)
+            if self.sync_meta:
+                os.fsync(fd)
         finally:
             os.close(fd)
+        self._fsync_dir(os.path.dirname(self._real(path)))
         return True
 
     def unlink(self, path: str) -> None:

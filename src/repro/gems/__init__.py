@@ -23,7 +23,19 @@ from repro.gems.policy import (
 )
 from repro.gems.auditor import Auditor, AuditReport
 from repro.gems.replicator import Replicator, RepairReport
-from repro.gems.preservation import PreservationService, TimelinePoint
+from repro.gems.preservation import (
+    PreservationService,
+    TimelinePoint,
+    count_live_replicas,
+    count_total_replicas,
+)
+from repro.gems.keeper import (
+    Keeper,
+    KeeperConfig,
+    KeeperTick,
+    RateBudget,
+    RepairJournal,
+)
 from repro.gems.recovery import RecoveryReport, rebuild_database, rescan_servers
 
 __all__ = [
@@ -40,4 +52,11 @@ __all__ = [
     "RepairReport",
     "PreservationService",
     "TimelinePoint",
+    "count_live_replicas",
+    "count_total_replicas",
+    "Keeper",
+    "KeeperConfig",
+    "KeeperTick",
+    "RateBudget",
+    "RepairJournal",
 ]

@@ -45,8 +45,25 @@ class Auditor:
         self.verify_checksums = verify_checksums
 
     def audit_once(self) -> AuditReport:
+        report = self.audit_records(self.dsdb.query(Query.where(tss_kind=FILE_KIND)))
+        if report.problems:
+            log.info(
+                "audit: %d replicas checked, %d missing, %d damaged",
+                report.replicas_checked,
+                report.missing,
+                report.damaged,
+            )
+        return report
+
+    def audit_records(self, records: list[dict]) -> AuditReport:
+        """Audit just the given records (one incremental-scan batch).
+
+        The keeper feeds this cursor-bounded slices of the database so a
+        long audit spreads across many rate-limited ticks instead of one
+        monolithic pass.
+        """
         report = AuditReport()
-        for record in self.dsdb.query(Query.where(tss_kind=FILE_KIND)):
+        for record in records:
             report.records += 1
             changed = False
             replicas = []
@@ -68,13 +85,6 @@ class Auditor:
                 record = self.dsdb.db.update(record["id"], {"replicas": replicas})
             if not any(r.get("state", "ok") == "ok" for r in replicas):
                 report.lost_records.append(record["id"])
-        if report.problems:
-            log.info(
-                "audit: %d replicas checked, %d missing, %d damaged",
-                report.replicas_checked,
-                report.missing,
-                report.damaged,
-            )
         return report
 
     def _check(self, record: dict, replica: dict) -> str:

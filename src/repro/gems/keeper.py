@@ -1,0 +1,608 @@
+"""The keeper: a self-healing anti-entropy daemon over a DSDB.
+
+The paper's GEMS deployment promises *long-lived* preservation: "two
+active components work in concert to maintain replicas", and the system
+as a whole must outlive any single server -- or any single run of its
+own maintenance processes.  The one-shot :class:`~repro.gems.auditor.Auditor`
+and :class:`~repro.gems.replicator.Replicator` passes provide the
+mechanism; this module makes them *continuous* and *crash-safe*:
+
+- **Incremental scanning.**  A persistent cursor
+  (``keeper.cursor``) records the last audited record id, so a keeper
+  restarted -- or merely rate-limited -- resumes its pass where it
+  stopped instead of re-auditing from the top.  Scan and repair work are
+  metered by :class:`RateBudget` (records/sec and repair bytes/sec), so
+  healing trickles along under foreground traffic instead of starving
+  it.
+
+- **Catalog-driven membership.**  The keeper subscribes to catalog
+  listings: servers newly reported are admitted as repair targets, and
+  servers absent from every listing past the catalog lifetime become
+  *suspect* -- the keeper proactively re-replicates records whose copies
+  sit on them, and never chooses them as targets, so a decommissioned
+  or dying server drains before it takes data with it.
+
+- **Crash-safe repair.**  Every copy is bracketed by an append-only
+  repair journal (``keeper.journal``): an ``intent`` entry (with the
+  pre-generated destination path) before any byte moves, a ``commit``
+  only after the copy is attached to its record, and verify-after-write
+  via the server-side ``checksum`` RPC in between.  A keeper that
+  crashes mid-copy leaves either a garbage-collectable orphan (intent,
+  no commit, checksum bad/absent) or a committed replica (checksum ok
+  -- the recovery attaches and commits it); never a half-written copy
+  counted as live.
+
+- **Health-integrated targets.**  Target selection goes through the
+  :class:`~repro.gems.replicator.Replicator`'s health-aware chooser, so
+  endpoints with open circuit breakers are skipped rather than failed
+  against on every pass.
+
+The clock is injectable throughout, so the whole control loop runs
+deterministically under :class:`~repro.util.clock.ManualClock` in tests.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import os
+import threading
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.core.dsdb import DSDB, FILE_KIND, live_replicas
+from repro.core.stubs import unique_data_name
+from repro.db.query import Query
+from repro.gems.auditor import Auditor
+from repro.gems.policy import RecordSummary, ReplicationPolicy, plan_drops
+from repro.gems.replicator import Replicator
+from repro.util.clock import Clock, MonotonicClock
+from repro.util.errors import ChirpError
+
+__all__ = ["Keeper", "KeeperConfig", "KeeperTick", "RateBudget", "RepairJournal"]
+
+log = logging.getLogger("repro.gems.keeper")
+
+JOURNAL_NAME = "keeper.journal"
+CURSOR_NAME = "keeper.cursor"
+
+OP_INTENT = "intent"
+OP_COMMIT = "commit"
+OP_ABORT = "abort"
+
+
+@dataclass
+class KeeperConfig:
+    """Tuning knobs for one keeper.
+
+    :ivar state_dir: directory holding the cursor file and repair
+        journal; created if missing.  This is the keeper's only local
+        state -- everything else is rebuilt from the DSDB.
+    :ivar scan_batch: records audited per tick (one cursor advance).
+    :ivar records_per_sec: audit rate budget; None = unmetered.
+    :ivar repair_bytes_per_sec: copy rate budget; None = unmetered.
+    :ivar max_repairs_per_tick: copies attempted per tick, so one tick's
+        repair work is bounded no matter how much damage a pass finds.
+    :ivar catalog_lifetime: seconds a server may be absent from catalog
+        listings before the keeper treats it as suspect (mirrors the
+        catalog's own entry lifetime).
+    :ivar tick_interval: sleep between ticks in the background loop.
+    :ivar verify_checksums: audit mode (see :class:`Auditor`).
+    """
+
+    state_dir: str
+    scan_batch: int = 64
+    records_per_sec: Optional[float] = None
+    repair_bytes_per_sec: Optional[float] = None
+    max_repairs_per_tick: int = 8
+    catalog_lifetime: float = 900.0
+    tick_interval: float = 1.0
+    verify_checksums: bool = True
+
+    def __post_init__(self):
+        if self.scan_batch < 1:
+            raise ValueError("scan_batch must be >= 1")
+        if self.max_repairs_per_tick < 1:
+            raise ValueError("max_repairs_per_tick must be >= 1")
+
+
+class RateBudget:
+    """A smooth rate limiter: each unit of work books time at ``rate``.
+
+    Deficit scheduling rather than token buckets: ``charge(n)`` books
+    ``n / rate`` seconds of exclusive budget and sleeps until the booked
+    window opens.  Work is never refused, only delayed, which is the
+    right shape for anti-entropy (healing must always make progress,
+    just never faster than the operator allowed).  A ``rate`` of None
+    disables metering.
+    """
+
+    def __init__(self, rate: Optional[float], clock: Optional[Clock] = None):
+        if rate is not None and rate <= 0:
+            raise ValueError("rate must be positive (or None to disable)")
+        self.rate = rate
+        self.clock = clock or MonotonicClock()
+        self._ready_at = self.clock.now()
+        self.throttled_seconds = 0.0
+
+    def charge(self, units: float) -> float:
+        """Meter ``units`` of work; returns the seconds actually slept."""
+        if self.rate is None or units <= 0:
+            return 0.0
+        now = self.clock.now()
+        wait = max(0.0, self._ready_at - now)
+        self._ready_at = max(now, self._ready_at) + units / self.rate
+        if wait > 0:
+            self.clock.sleep(wait)
+            self.throttled_seconds += wait
+        return wait
+
+
+class RepairJournal:
+    """Append-only intent/commit journal for in-flight repair copies.
+
+    One JSON object per line: ``{"seq", "op", "record_id", "replica",
+    "note"}``.  Every append is flushed and fsynced before the copy it
+    brackets proceeds, so the journal is always at least as current as
+    the data servers.  ``in_flight()`` replays the file and returns
+    intents with no matching commit/abort -- exactly the copies a crash
+    may have left half-done.
+    """
+
+    def __init__(self, path: str):
+        self.path = path
+        os.makedirs(os.path.dirname(path) or ".", exist_ok=True)
+        self._lock = threading.Lock()
+        self._seq = self._last_seq() + 1
+        self._log = open(path, "a", encoding="utf-8")
+
+    def close(self) -> None:
+        with self._lock:
+            self._log.close()
+
+    def _last_seq(self) -> int:
+        last = 0
+        for entry in self._entries():
+            last = max(last, entry.get("seq", 0))
+        return last
+
+    def _entries(self) -> list[dict]:
+        try:
+            f = open(self.path, "r", encoding="utf-8")
+        except FileNotFoundError:
+            return []
+        out = []
+        with f:
+            for line in f:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    entry = json.loads(line)
+                except ValueError:
+                    continue  # torn final write after a crash
+                if isinstance(entry, dict):
+                    out.append(entry)
+        return out
+
+    def _append(self, entry: dict) -> None:
+        self._log.write(json.dumps(entry, sort_keys=True) + "\n")
+        self._log.flush()
+        os.fsync(self._log.fileno())
+
+    def intent(self, record_id: str, replica: dict) -> int:
+        """Journal a copy about to start; returns its sequence number."""
+        with self._lock:
+            seq = self._seq
+            self._seq += 1
+            self._append(
+                {
+                    "seq": seq,
+                    "op": OP_INTENT,
+                    "record_id": record_id,
+                    "replica": dict(replica),
+                }
+            )
+            return seq
+
+    def commit(self, seq: int, note: str = "") -> None:
+        with self._lock:
+            self._append({"seq": seq, "op": OP_COMMIT, "note": note})
+
+    def abort(self, seq: int, note: str = "") -> None:
+        with self._lock:
+            self._append({"seq": seq, "op": OP_ABORT, "note": note})
+
+    def in_flight(self) -> list[dict]:
+        """Intent entries with no commit/abort, oldest first."""
+        intents: dict[int, dict] = {}
+        for entry in self._entries():
+            seq = entry.get("seq")
+            if entry.get("op") == OP_INTENT:
+                intents[seq] = entry
+            elif entry.get("op") in (OP_COMMIT, OP_ABORT):
+                intents.pop(seq, None)
+        return [intents[seq] for seq in sorted(intents)]
+
+
+@dataclass
+class KeeperTick:
+    """What one keeper tick did."""
+
+    scanned: int = 0
+    missing: int = 0
+    damaged: int = 0
+    dropped: int = 0
+    committed: int = 0
+    aborted: int = 0
+    proactive: int = 0
+    wrapped: bool = False
+    suspects: list = field(default_factory=list)
+    admitted: list = field(default_factory=list)
+
+
+class Keeper:
+    """The long-running self-healing daemon (see module docstring).
+
+    :param dsdb: the database under preservation.
+    :param policy: replication policy driving repair planning.
+    :param catalog: optional :class:`~repro.catalog.client.CatalogClient`
+        for membership; without one the server set is static.
+    :param config: see :class:`KeeperConfig`.
+    :param clock: injectable time source for rates, membership aging and
+        the background loop.
+    :param metrics: a :class:`~repro.transport.metrics.MetricsRegistry`
+        to surface keeper counters under a ``"keeper"`` snapshot
+        section; defaults to the DSDB pool's registry.
+    """
+
+    def __init__(
+        self,
+        dsdb: DSDB,
+        policy: ReplicationPolicy,
+        config: KeeperConfig,
+        catalog=None,
+        clock: Optional[Clock] = None,
+        metrics=None,
+    ):
+        self.dsdb = dsdb
+        self.config = config
+        self.catalog = catalog
+        self.clock = clock or MonotonicClock()
+        self.auditor = Auditor(dsdb, verify_checksums=config.verify_checksums)
+        self.replicator = Replicator(dsdb, policy)
+        os.makedirs(config.state_dir, exist_ok=True)
+        self.journal = RepairJournal(os.path.join(config.state_dir, JOURNAL_NAME))
+        self._cursor_path = os.path.join(config.state_dir, CURSOR_NAME)
+        self._cursor: Optional[str] = None
+        self._load_cursor()
+        self.scan_budget = RateBudget(config.records_per_sec, self.clock)
+        self.repair_budget = RateBudget(config.repair_bytes_per_sec, self.clock)
+        # endpoint -> last time it appeared in a catalog listing (this
+        # clock); servers known before any listing get a grace stamp.
+        self._last_seen: dict[tuple, float] = {}
+        self.suspects: set[tuple] = set()
+        self._counters = {
+            "ticks": 0,
+            "passes_completed": 0,
+            "records_scanned": 0,
+            "replicas_checked": 0,
+            "missing": 0,
+            "damaged": 0,
+            "dropped": 0,
+            "repairs_committed": 0,
+            "repairs_aborted": 0,
+            "proactive_copies": 0,
+            "journal_recovered": 0,
+            "journal_garbage_collected": 0,
+            "servers_admitted": 0,
+        }
+        self._counters["passes_completed"] = self._restored_passes
+        self._lock = threading.Lock()
+        self._stop = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+        registry = metrics if metrics is not None else getattr(
+            dsdb.pool, "metrics", None
+        )
+        if registry is not None:
+            registry.attach_section("keeper", self)
+        self.recover()
+
+    # -- state files ----------------------------------------------------
+
+    def _load_cursor(self) -> None:
+        try:
+            with open(self._cursor_path, "r", encoding="utf-8") as f:
+                doc = json.load(f)
+        except (FileNotFoundError, ValueError):
+            self._restored_passes = 0
+            return
+        self._cursor = doc.get("cursor")
+        self._restored_passes = int(doc.get("passes", 0))
+
+    def _save_cursor(self) -> None:
+        tmp = self._cursor_path + ".tmp"
+        with open(tmp, "w", encoding="utf-8") as f:
+            json.dump(
+                {
+                    "cursor": self._cursor,
+                    "passes": self._counters["passes_completed"],
+                },
+                f,
+            )
+            f.flush()
+            os.fsync(f.fileno())
+        os.replace(tmp, self._cursor_path)
+
+    @property
+    def cursor(self) -> Optional[str]:
+        return self._cursor
+
+    # -- crash recovery -------------------------------------------------
+
+    def recover(self) -> int:
+        """Resolve every in-flight journaled copy; returns how many.
+
+        For each intent without a commit: if the destination copy
+        verifies against the record checksum it is attached (if not
+        already) and committed -- the crash lost only the bookkeeping;
+        otherwise the copy (whole, torn, or absent) is unlinked
+        best-effort, detached if attached, and the intent aborted.  The
+        invariant either way: no half-written copy is ever counted live.
+        """
+        resolved = 0
+        for entry in self.journal.in_flight():
+            seq = entry["seq"]
+            replica = entry["replica"]
+            record = self.dsdb.get(entry["record_id"])
+            state = (
+                self.dsdb.verify_replica(record, replica)
+                if record is not None
+                else "missing"
+            )
+            attached = record is not None and any(
+                (r["host"], r["port"], r["path"])
+                == (replica["host"], replica["port"], replica["path"])
+                for r in record.get("replicas", [])
+            )
+            if state == "ok":
+                if not attached:
+                    self.dsdb.attach_replica(record, replica)
+                self.journal.commit(seq, "recovered")
+                self._counters["journal_recovered"] += 1
+            else:
+                if attached:
+                    self.dsdb.drop_replica(record, replica)
+                else:
+                    client = self.dsdb.pool.try_get(
+                        replica["host"], replica["port"]
+                    )
+                    if client is not None:
+                        try:
+                            client.unlink(replica["path"])
+                        except ChirpError:
+                            pass  # absent, or the server will be audited later
+                self.journal.abort(seq, "crash-recovery gc")
+                self._counters["journal_garbage_collected"] += 1
+            resolved += 1
+        if resolved:
+            log.info(
+                "journal recovery: %d in-flight copies resolved "
+                "(%d recovered, %d garbage-collected)",
+                resolved,
+                self._counters["journal_recovered"],
+                self._counters["journal_garbage_collected"],
+            )
+        return resolved
+
+    # -- membership -----------------------------------------------------
+
+    def refresh_membership(self, tick: Optional[KeeperTick] = None) -> set:
+        """Update the server view from catalog listings.
+
+        Newly listed file servers join the DSDB placement set; known
+        servers missing from every listing for longer than
+        ``catalog_lifetime`` become suspect.  With no catalog (or none
+        reachable) the previous view stands -- membership decisions are
+        never made on a communication failure alone.
+        """
+        now = self.clock.now()
+        known = {tuple(ep) for ep in self.dsdb.servers}
+        for ep in known:
+            self._last_seen.setdefault(ep, now)
+        if self.catalog is not None:
+            reports = self.catalog.try_discover()
+            if reports is not None:
+                for report in reports:
+                    if report.type != "chirp":
+                        continue
+                    ep = (report.host, int(report.port))
+                    self._last_seen[ep] = now
+                    if ep not in known:
+                        self.dsdb.add_server(*ep)
+                        known.add(ep)
+                        self._counters["servers_admitted"] += 1
+                        if tick is not None:
+                            tick.admitted.append(ep)
+                        log.info("admitted new server %s:%d", *ep)
+        lifetime = self.config.catalog_lifetime
+        self.suspects = {
+            ep for ep in known if now - self._last_seen[ep] > lifetime
+        }
+        if tick is not None:
+            tick.suspects = sorted(self.suspects)
+        return self.suspects
+
+    # -- the tick -------------------------------------------------------
+
+    def tick(self) -> KeeperTick:
+        """One bounded slice of anti-entropy work."""
+        tick = KeeperTick()
+        self._counters["ticks"] += 1
+        self.refresh_membership(tick)
+        batch = self.dsdb.scan_records(
+            after=self._cursor, limit=self.config.scan_batch
+        )
+        if not batch:
+            # End of the keyspace: the pass is complete; the next tick
+            # starts over from the top.
+            tick.wrapped = True
+            self._cursor = None
+            self._counters["passes_completed"] += 1
+            self._save_cursor()
+            return tick
+        self.scan_budget.charge(len(batch))
+        report = self.auditor.audit_records(batch)
+        tick.scanned = report.records
+        tick.missing = report.missing
+        tick.damaged = report.damaged
+        self._counters["records_scanned"] += report.records
+        self._counters["replicas_checked"] += report.replicas_checked
+        self._counters["missing"] += report.missing
+        self._counters["damaged"] += report.damaged
+        self._cursor = batch[-1]["id"]
+        self._save_cursor()
+        self._repair(batch, tick)
+        return tick
+
+    def _repair(self, batch: list[dict], tick: KeeperTick) -> None:
+        budget_left = self.config.max_repairs_per_tick
+        # Drop what the audit just noted (refetch: states changed above).
+        for stale in batch:
+            record = self.dsdb.get(stale["id"])
+            if record is None:
+                continue
+            for bad in plan_drops(record):
+                record = self.dsdb.drop_replica(record, bad)
+                tick.dropped += 1
+                self._counters["dropped"] += 1
+        # Proactive drain: records in this batch with live copies on
+        # suspect servers get one extra copy on healthy ground now,
+        # before the suspects finish dying.
+        if self.suspects:
+            for stale in batch:
+                if budget_left <= 0:
+                    break
+                record = self.dsdb.get(stale["id"])
+                if record is not None and self._proactive_copy(record, tick):
+                    budget_left -= 1
+        # Policy-planned repairs, highest priority first.
+        records = self.dsdb.query(Query.where(tss_kind=FILE_KIND))
+        summaries = [RecordSummary.from_record(r) for r in records]
+        plan = self.replicator.policy.plan_additions(
+            summaries, len(self.dsdb.servers)
+        )
+        for record_id in plan:
+            if budget_left <= 0:
+                break
+            record = self.dsdb.get(record_id)
+            if record is None or not live_replicas(record):
+                continue
+            target = self.replicator.choose_target(
+                record, avoid=frozenset(self.suspects)
+            )
+            if target is None:
+                continue
+            self._journaled_copy(record, target, tick)
+            budget_left -= 1
+
+    def _proactive_copy(self, record: dict, tick: KeeperTick) -> bool:
+        """One extra copy off suspect ground; True when an attempt was made
+        (success or failure -- either way it consumed repair budget)."""
+        live = live_replicas(record)
+        if not any((r["host"], r["port"]) in self.suspects for r in live):
+            return False
+        target = self.replicator.choose_target(
+            record, avoid=frozenset(self.suspects)
+        )
+        if target is None:
+            return False
+        if self._journaled_copy(record, target, tick):
+            tick.proactive += 1
+            self._counters["proactive_copies"] += 1
+        return True
+
+    def _journaled_copy(
+        self, record: dict, target: tuple, tick: KeeperTick
+    ) -> bool:
+        """One intent → copy → verify → attach → commit cycle."""
+        path = self.dsdb.data_dir + "/" + unique_data_name()
+        pending = {
+            "host": target[0],
+            "port": int(target[1]),
+            "path": path,
+            "state": "ok",
+        }
+        seq = self.journal.intent(record["id"], pending)
+        self.repair_budget.charge(record.get("size", 0))
+        try:
+            replica = self.dsdb.copy_replica(
+                record, target, path=path, verify=True
+            )
+            self.dsdb.attach_replica(record, replica)
+        except (ChirpError, LookupError) as exc:
+            client = self.dsdb.pool.try_get(*target)
+            if client is not None:
+                try:
+                    client.unlink(path)
+                except ChirpError:
+                    pass
+            self.journal.abort(seq, str(exc))
+            self.replicator.note_target_failure(target)
+            tick.aborted += 1
+            self._counters["repairs_aborted"] += 1
+            return False
+        self.journal.commit(seq)
+        self.replicator.note_target_success(target)
+        tick.committed += 1
+        self._counters["repairs_committed"] += 1
+        return True
+
+    # -- observability --------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """Keeper counters for the metrics snapshot's ``keeper`` section."""
+        with self._lock:
+            snap = dict(self._counters)
+        snap["cursor"] = self._cursor
+        snap["suspect_servers"] = sorted(
+            "%s:%d" % ep for ep in self.suspects
+        )
+        snap["scan_throttled_seconds"] = self.scan_budget.throttled_seconds
+        snap["repair_throttled_seconds"] = self.repair_budget.throttled_seconds
+        return snap
+
+    # -- background mode ------------------------------------------------
+
+    def run_passes(self, passes: int, max_ticks: int = 10000) -> list[KeeperTick]:
+        """Run synchronously until ``passes`` full scans complete."""
+        done = self._counters["passes_completed"] + passes
+        ticks = []
+        while self._counters["passes_completed"] < done and len(ticks) < max_ticks:
+            ticks.append(self.tick())
+        return ticks
+
+    def start(self) -> "Keeper":
+        if self._thread is not None:
+            raise RuntimeError("keeper already running")
+        self._stop.clear()
+        self._thread = threading.Thread(
+            target=self._loop, name="gems-keeper", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout=30)
+            self._thread = None
+        self.journal.close()
+
+    def _loop(self) -> None:
+        while not self._stop.is_set():
+            try:
+                self.tick()
+            except Exception:  # pragma: no cover - keeper must not die
+                log.exception("keeper tick failed; continuing")
+            self._stop.wait(self.config.tick_interval)

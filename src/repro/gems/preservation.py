@@ -12,13 +12,35 @@ from __future__ import annotations
 import threading
 from dataclasses import dataclass
 
-from repro.core.dsdb import DSDB
+from repro.core.dsdb import DSDB, FILE_KIND, live_replicas
+from repro.db.query import Query
 from repro.gems.auditor import Auditor, AuditReport
 from repro.gems.policy import ReplicationPolicy
 from repro.gems.replicator import RepairReport, Replicator
 from repro.util.clock import Clock, MonotonicClock
 
-__all__ = ["PreservationService", "TimelinePoint"]
+__all__ = [
+    "PreservationService",
+    "TimelinePoint",
+    "count_live_replicas",
+    "count_total_replicas",
+]
+
+
+def count_live_replicas(dsdb: DSDB) -> int:
+    """Live (state ``ok``) replicas across all file records."""
+    return sum(
+        len(live_replicas(r))
+        for r in dsdb.query(Query.where(tss_kind=FILE_KIND))
+    )
+
+
+def count_total_replicas(dsdb: DSDB) -> int:
+    """All replicas across all file records, whatever their state."""
+    return sum(
+        len(r.get("replicas", []))
+        for r in dsdb.query(Query.where(tss_kind=FILE_KIND))
+    )
 
 
 @dataclass(frozen=True)
@@ -45,10 +67,15 @@ class PreservationService:
         clock: Clock | None = None,
         cycle_interval: float = 60.0,
         verify_checksums: bool = True,
+        auditor: Auditor | None = None,
+        replicator: Replicator | None = None,
     ):
+        # Both halves are injectable so a caller can share one
+        # replicator's target-failure memory (or a specially configured
+        # auditor) between this loop and other machinery, e.g. a keeper.
         self.dsdb = dsdb
-        self.auditor = Auditor(dsdb, verify_checksums=verify_checksums)
-        self.replicator = Replicator(dsdb, policy)
+        self.auditor = auditor or Auditor(dsdb, verify_checksums=verify_checksums)
+        self.replicator = replicator or Replicator(dsdb, policy)
         self.clock = clock or MonotonicClock()
         self.cycle_interval = cycle_interval
         self.timeline: list[TimelinePoint] = []
@@ -86,22 +113,10 @@ class PreservationService:
         return points
 
     def _count_live(self) -> int:
-        from repro.core.dsdb import FILE_KIND, live_replicas
-        from repro.db.query import Query
-
-        return sum(
-            len(live_replicas(r))
-            for r in self.dsdb.query(Query.where(tss_kind=FILE_KIND))
-        )
+        return count_live_replicas(self.dsdb)
 
     def _count_total(self) -> int:
-        from repro.core.dsdb import FILE_KIND
-        from repro.db.query import Query
-
-        return sum(
-            len(r.get("replicas", []))
-            for r in self.dsdb.query(Query.where(tss_kind=FILE_KIND))
-        )
+        return count_total_replicas(self.dsdb)
 
     # -- background mode ----------------------------------------------------
 

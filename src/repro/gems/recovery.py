@@ -18,10 +18,12 @@ from __future__ import annotations
 
 import logging
 from dataclasses import dataclass, field
+from typing import Optional
 
 from repro.core.dsdb import DSDB, FILE_KIND
 from repro.core.pool import ClientPool
-from repro.util.errors import ChirpError
+from repro.transport.deadline import Deadline
+from repro.util.errors import ChirpError, TimedOutError
 
 __all__ = ["rescan_servers", "rebuild_database", "RecoveryReport"]
 
@@ -34,6 +36,10 @@ class RecoveryReport:
 
     servers_scanned: int = 0
     servers_unreachable: int = 0
+    #: servers abandoned mid-scan because a deadline expired on them
+    servers_timed_out: int = 0
+    #: True when the overall deadline expired before every server was tried
+    deadline_expired: bool = False
     replicas_found: int = 0
     records_rebuilt: int = 0
     #: checksum -> list of (host, port, path, size)
@@ -44,30 +50,51 @@ def rescan_servers(
     pool: ClientPool,
     servers: list[tuple[str, int]],
     volume: str,
+    deadline: Optional[Deadline] = None,
 ) -> RecoveryReport:
     """Walk every server's per-volume data directory, checksumming files.
 
     Uses only resource-layer operations (``getdir``, ``stat``,
     ``checksum``): recovery needs nothing but the Unix interface --
     recursive abstraction paying off at the worst possible moment.
+
+    With a ``deadline``, every RPC runs under the remaining budget, so a
+    server that accepts connections but never answers (the worst failure
+    mode during a disaster rebuild) costs bounded time instead of
+    stalling the whole rescan.  A timed-out server is abandoned and
+    counted in ``servers_timed_out``; when the overall budget runs out
+    the remaining servers are skipped and ``deadline_expired`` is set --
+    partial results are still returned, since a partial rebuild
+    (idempotent, see :func:`rebuild_database`) beats none.
     """
     report = RecoveryReport()
     data_dir = f"/tssdata/{volume}"
     for host, port in servers:
+        if deadline is not None and deadline.expired:
+            report.deadline_expired = True
+            break
         client = pool.try_get(host, port)
         if client is None:
             report.servers_unreachable += 1
             continue
         report.servers_scanned += 1
         try:
-            names = client.getdir(data_dir)
+            names = client.getdir(data_dir, deadline=deadline)
+        except TimedOutError:
+            report.servers_timed_out += 1
+            continue
         except ChirpError:
             continue  # server never held this volume
         for name in names:
             path = f"{data_dir}/{name}"
             try:
-                st = client.stat(path)
-                digest = client.checksum(path)
+                st = client.stat(path, deadline=deadline)
+                digest = client.checksum(path, deadline=deadline)
+            except TimedOutError:
+                # This server went quiet mid-walk; keep what it already
+                # yielded and move on before the budget drains further.
+                report.servers_timed_out += 1
+                break
             except ChirpError:
                 continue
             report.replicas_found += 1
@@ -81,13 +108,16 @@ def rebuild_database(
     dsdb: DSDB,
     *,
     name_prefix: str = "recovered",
+    deadline: Optional[Deadline] = None,
 ) -> RecoveryReport:
     """Repopulate an (empty or partial) DSDB from its servers' contents.
 
     Checksums already present in the database are left alone, so the
-    rebuild is idempotent and safe to run against a half-surviving DB.
+    rebuild is idempotent and safe to run against a half-surviving DB --
+    which is also what makes a deadline-truncated rescan useful: run it
+    again with a fresh budget and it only adds what the first run missed.
     """
-    report = rescan_servers(dsdb.pool, dsdb.servers, dsdb.volume)
+    report = rescan_servers(dsdb.pool, dsdb.servers, dsdb.volume, deadline=deadline)
     from repro.db.query import Query
 
     known = {

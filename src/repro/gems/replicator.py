@@ -3,15 +3,19 @@
 from __future__ import annotations
 
 import logging
-from dataclasses import dataclass
+from dataclasses import dataclass, field
+from typing import Optional
 
 from repro.core.dsdb import DSDB, FILE_KIND, live_replicas
 from repro.db.query import Query
 from repro.gems.policy import RecordSummary, ReplicationPolicy, plan_drops
+from repro.transport.health import HealthRegistry
 
 __all__ = ["Replicator", "RepairReport"]
 
 log = logging.getLogger("repro.gems.replicator")
+
+Endpoint = tuple  # (host, port)
 
 
 @dataclass
@@ -21,7 +25,10 @@ class RepairReport:
     dropped: int = 0
     added: int = 0
     failed_additions: int = 0
+    skipped_unhealthy_targets: int = 0
     stored_bytes: int = 0
+    #: endpoints that failed as copy targets this pass
+    failed_targets: list = field(default_factory=list)
 
 
 class Replicator:
@@ -33,12 +40,73 @@ class Replicator:
        ``damaged`` (their bytes are reclaimed);
     2. ask the policy which records deserve another copy, given the
        per-record live-copy counts and the server count;
-    3. perform the copies, streaming from a surviving replica.
+    3. perform the copies, streaming from a surviving replica onto a
+       target the replicator chooses itself.
+
+    Target selection is *health-integrated*: endpoints whose circuit
+    breaker is open (see :class:`~repro.transport.health.HealthRegistry`)
+    are skipped outright rather than failing every pass, and endpoints
+    that failed as copy targets accumulate a consecutive-failure count
+    that pushes them to the back of the candidate ordering -- a server
+    that is down but whose breaker has not tripped (e.g. the pool never
+    dials it outside repair) stops being the first pick on every pass.
     """
 
-    def __init__(self, dsdb: DSDB, policy: ReplicationPolicy):
+    def __init__(
+        self,
+        dsdb: DSDB,
+        policy: ReplicationPolicy,
+        health: Optional[HealthRegistry] = None,
+    ):
         self.dsdb = dsdb
         self.policy = policy
+        self.health = health if health is not None else getattr(
+            dsdb.pool, "health", None
+        )
+        #: endpoint -> consecutive failures as a *copy target*
+        self.target_failures: dict[Endpoint, int] = {}
+
+    # -- target selection ----------------------------------------------
+
+    def choose_target(
+        self, record: dict, avoid: frozenset = frozenset()
+    ) -> Optional[Endpoint]:
+        """Best server for this record's next copy, or None.
+
+        Candidates are servers not already holding a replica and not in
+        ``avoid`` (e.g. catalog-suspect endpoints).  Open-breaker
+        endpoints are dropped; survivors with the fewest consecutive
+        target failures form the front tier (repeat offenders only get
+        picked when nothing better exists), and the DSDB's placement
+        policy spreads copies across that tier.
+        """
+        occupied = {(r["host"], r["port"]) for r in record.get("replicas", [])}
+        candidates = [
+            tuple(ep)
+            for ep in self.dsdb.servers
+            if tuple(ep) not in occupied and tuple(ep) not in avoid
+        ]
+        if self.health is not None:
+            candidates = [
+                ep for ep in candidates if not self.health.is_open(*ep)
+            ]
+        if not candidates:
+            return None
+        best = min(self.target_failures.get(ep, 0) for ep in candidates)
+        tier = [ep for ep in candidates if self.target_failures.get(ep, 0) == best]
+        try:
+            return tuple(self.dsdb.placement.choose(tier))
+        except LookupError:
+            return None
+
+    def note_target_failure(self, endpoint: Endpoint) -> None:
+        endpoint = tuple(endpoint)
+        self.target_failures[endpoint] = self.target_failures.get(endpoint, 0) + 1
+
+    def note_target_success(self, endpoint: Endpoint) -> None:
+        self.target_failures.pop(tuple(endpoint), None)
+
+    # -- repair pass ----------------------------------------------------
 
     def repair_once(self, max_additions: int | None = None) -> RepairReport:
         report = RepairReport()
@@ -56,13 +124,9 @@ class Replicator:
         plan = self.policy.plan_additions(summaries, len(self.dsdb.servers))
         if max_additions is not None:
             plan = plan[:max_additions]
-        # Phase 3: copy.
+        # Phase 3: copy, onto explicitly chosen targets.
         for record_id in plan:
-            updated = self.dsdb.add_replica(record_id)
-            if updated is None:
-                report.failed_additions += 1
-            else:
-                report.added += 1
+            self._repair_one(record_id, report)
         report.stored_bytes = self._stored_live_bytes()
         if report.dropped or report.added:
             log.info(
@@ -72,6 +136,27 @@ class Replicator:
                 report.stored_bytes,
             )
         return report
+
+    def _repair_one(self, record_id: str, report: RepairReport) -> None:
+        record = self.dsdb.get(record_id)
+        if record is None or not live_replicas(record):
+            # Nothing to copy from: the failure is the record's, so no
+            # target endpoint gets blamed for it.
+            report.failed_additions += 1
+            return
+        target = self.choose_target(record)
+        if target is None:
+            report.skipped_unhealthy_targets += 1
+            report.failed_additions += 1
+            return
+        updated = self.dsdb.add_replica(record, target=target)
+        if updated is None:
+            self.note_target_failure(target)
+            report.failed_additions += 1
+            report.failed_targets.append(target)
+        else:
+            self.note_target_success(target)
+            report.added += 1
 
     def _stored_live_bytes(self) -> int:
         total = 0

@@ -259,8 +259,8 @@ class Connection:
 
     # -- namespace -------------------------------------------------------
 
-    def stat(self, path: str) -> ChirpStat:
-        reply = self.rpc("stat", path)
+    def stat(self, path: str, deadline: Optional[Deadline] = None) -> ChirpStat:
+        reply = self.rpc("stat", path, deadline=deadline)
         return ChirpStat.from_tokens(reply[1:])
 
     def lstat(self, path: str) -> ChirpStat:
@@ -288,16 +288,17 @@ class Connection:
     def utime(self, path: str, atime: int, mtime: int) -> None:
         self.rpc("utime", path, atime, mtime)
 
-    def checksum(self, path: str) -> str:
-        reply = self.rpc("checksum", path)
+    def checksum(self, path: str, deadline: Optional[Deadline] = None) -> str:
+        reply = self.rpc("checksum", path, deadline=deadline)
         return reply[1]
 
-    def getdir(self, path: str) -> list[str]:
+    def getdir(self, path: str, deadline: Optional[Deadline] = None) -> list[str]:
         start = time.perf_counter()
         error = True
         with self._lock:
             try:
                 stream = self._require_stream()
+                self._apply_deadline(stream, deadline)
                 try:
                     stream.write_line("getdir", path)
                     reply = stream.read_tokens()
@@ -310,8 +311,10 @@ class Connection:
                     for _ in range(status):
                         toks = stream.read_tokens()
                         names.append(toks[0] if toks else "")
-                except DisconnectedError:
+                except (DisconnectedError, socket.timeout) as exc:
                     self._teardown()
+                    if isinstance(exc, socket.timeout):
+                        raise TimedOutError("getdir") from exc
                     raise
                 error = False
                 return names

@@ -197,6 +197,18 @@ class HealthRegistry:
             health = self._endpoints.get(f"{host}:{int(port)}")
         return health.state if health is not None else STATE_CLOSED
 
+    def is_open(self, host: str, port: int) -> bool:
+        """True while dials to this endpoint would be refused.
+
+        The quarantine check used by repair target selection: an
+        endpoint in cooldown is pointless to copy toward, so healing
+        skips it rather than burning its rate budget on guaranteed
+        failures.  Never creates a breaker.
+        """
+        with self._lock:
+            health = self._endpoints.get(f"{host}:{int(port)}")
+        return health is not None and health.is_open
+
     def snapshot(self) -> dict:
         with self._lock:
             endpoints = dict(self._endpoints)

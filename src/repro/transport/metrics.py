@@ -106,6 +106,9 @@ class MetricsRegistry:
         # metrics outlive any particular client stack (the process-wide
         # default registry especially), and must not pin dead ones.
         self._health_sources: list = []  # ordered weakrefs
+        # Named snapshot sections from other subsystems (e.g. the GEMS
+        # keeper), same weak-reference discipline.
+        self._sections: dict[str, object] = {}  # name -> weakref
 
     def attach_health(self, health) -> None:
         """Include a health registry's breakers in :meth:`snapshot`.
@@ -118,6 +121,19 @@ class MetricsRegistry:
         with self._lock:
             if not any(ref() is health for ref in self._health_sources):
                 self._health_sources.append(weakref.ref(health))
+
+    def attach_section(self, name: str, source) -> None:
+        """Include ``source.snapshot()`` under ``name`` in :meth:`snapshot`.
+
+        The generic form of :meth:`attach_health`: any subsystem with a
+        ``snapshot() -> dict`` (the GEMS keeper, for one) can surface its
+        counters through the same operator read.  Held weakly; the names
+        ``verbs``/``endpoints``/``health`` are reserved.
+        """
+        if name in ("verbs", "endpoints", "health"):
+            raise ValueError(f"section name {name!r} is reserved")
+        with self._lock:
+            self._sections[name] = weakref.ref(source)
 
     def observe(
         self,
@@ -169,6 +185,10 @@ class MetricsRegistry:
         with self._lock:
             self._health_sources = [r for r in self._health_sources if r() is not None]
             sources = [r() for r in self._health_sources]
+            self._sections = {
+                name: ref for name, ref in self._sections.items() if ref() is not None
+            }
+            sections = {name: ref() for name, ref in self._sections.items()}
             snap = {
                 "verbs": {
                     verb: {
@@ -189,6 +209,9 @@ class MetricsRegistry:
             if source is not None:
                 health.update(source.snapshot())
         snap["health"] = health
+        for name, source in sections.items():
+            if source is not None:
+                snap[name] = source.snapshot()
         return snap
 
     def reset(self) -> None:

@@ -1,0 +1,302 @@
+"""Unit tests for the keeper's building blocks.
+
+Everything here runs on fakes and a :class:`ManualClock` -- no sockets,
+no disk beyond tmp_path -- so the control-loop logic (rate budgets,
+journal replay, cursor persistence, catalog membership, target
+deprioritization) is exercised deterministically.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.catalog.report import ServerReport
+from repro.core.placement import RoundRobinPlacement
+from repro.gems.keeper import (
+    Keeper,
+    KeeperConfig,
+    RateBudget,
+    RepairJournal,
+)
+from repro.gems.policy import FixedCountPolicy
+from repro.gems.replicator import Replicator
+from repro.transport.health import BreakerPolicy, HealthRegistry
+from repro.util.clock import ManualClock
+
+
+class FakePool:
+    """Just enough of ClientPool for membership/recovery plumbing."""
+
+    def __init__(self, health=None):
+        self.health = health
+        self.metrics = None
+
+    def try_get(self, host, port):
+        return None
+
+
+class FakeDSDB:
+    """Server bookkeeping only; no data path."""
+
+    def __init__(self, servers, health=None):
+        self.servers = [(h, int(p)) for h, p in servers]
+        self.placement = RoundRobinPlacement(seed=0)
+        self.pool = FakePool(health)
+        self.data_dir = "/tssdata/test"
+
+    def add_server(self, host, port):
+        endpoint = (host, int(port))
+        if endpoint not in self.servers:
+            self.servers.append(endpoint)
+
+
+class FakeCatalog:
+    def __init__(self):
+        self.reports = []
+
+    def try_discover(self):
+        return self.reports
+
+    @staticmethod
+    def report(host, port, type_="chirp"):
+        return ServerReport(
+            type=type_, name=f"{host}:{port}", owner="unix:x", host=host, port=port
+        )
+
+
+def make_keeper(tmp_path, servers, catalog=None, clock=None, **cfg):
+    return Keeper(
+        FakeDSDB(servers),
+        FixedCountPolicy(2),
+        KeeperConfig(state_dir=str(tmp_path / "keeper"), **cfg),
+        catalog=catalog,
+        clock=clock or ManualClock(),
+    )
+
+
+class TestRateBudget:
+    def test_unmetered_never_sleeps(self):
+        clock = ManualClock()
+        budget = RateBudget(None, clock)
+        assert budget.charge(10**9) == 0.0
+        assert clock.now() == 0.0
+
+    def test_first_charge_is_free_then_meters(self):
+        clock = ManualClock()
+        budget = RateBudget(10.0, clock)
+        assert budget.charge(5) == 0.0  # books 0.5s, no wait yet
+        assert budget.charge(5) == pytest.approx(0.5)  # pays the booking
+        assert clock.now() == pytest.approx(0.5)
+
+    def test_idle_time_is_not_banked(self):
+        clock = ManualClock()
+        budget = RateBudget(1.0, clock)
+        budget.charge(1)
+        clock.advance(100.0)  # long idle gap
+        assert budget.charge(1) == 0.0  # ...but only one charge is free
+        assert budget.charge(1) == pytest.approx(1.0)
+
+    def test_rejects_nonpositive_rate(self):
+        with pytest.raises(ValueError):
+            RateBudget(0.0)
+
+    def test_tracks_throttled_seconds(self):
+        clock = ManualClock()
+        budget = RateBudget(2.0, clock)
+        budget.charge(4)
+        budget.charge(4)
+        assert budget.throttled_seconds == pytest.approx(2.0)
+
+
+class TestRepairJournal:
+    def test_intent_without_commit_is_in_flight(self, tmp_path):
+        journal = RepairJournal(str(tmp_path / "j"))
+        rep = {"host": "a", "port": 1, "path": "/p", "state": "ok"}
+        seq1 = journal.intent("r1", rep)
+        seq2 = journal.intent("r2", rep)
+        journal.commit(seq1)
+        pending = journal.in_flight()
+        assert [e["seq"] for e in pending] == [seq2]
+        assert pending[0]["record_id"] == "r2"
+
+    def test_abort_also_resolves(self, tmp_path):
+        journal = RepairJournal(str(tmp_path / "j"))
+        seq = journal.intent("r", {"host": "a", "port": 1, "path": "/p"})
+        journal.abort(seq, "copy failed")
+        assert journal.in_flight() == []
+
+    def test_sequence_numbers_survive_reopen(self, tmp_path):
+        path = str(tmp_path / "j")
+        first = RepairJournal(path)
+        seq = first.intent("r", {"host": "a", "port": 1, "path": "/p"})
+        first.close()
+        second = RepairJournal(path)
+        assert second.intent("r2", {"host": "b", "port": 2, "path": "/q"}) > seq
+
+    def test_torn_final_line_is_ignored(self, tmp_path):
+        path = str(tmp_path / "j")
+        journal = RepairJournal(path)
+        seq = journal.intent("r", {"host": "a", "port": 1, "path": "/p"})
+        journal.close()
+        with open(path, "a", encoding="utf-8") as f:
+            f.write('{"seq": 99, "op": "comm')  # crash mid-append
+        reopened = RepairJournal(path)
+        assert [e["seq"] for e in reopened.in_flight()] == [seq]
+
+
+class TestCursorPersistence:
+    def test_cursor_round_trips_between_keepers(self, tmp_path):
+        keeper = make_keeper(tmp_path, [("a", 1)])
+        keeper._cursor = "record-0042"
+        keeper._counters["passes_completed"] = 3
+        keeper._save_cursor()
+        reborn = make_keeper(tmp_path, [("a", 1)])
+        assert reborn.cursor == "record-0042"
+        assert reborn.snapshot()["passes_completed"] == 3
+
+    def test_corrupt_cursor_file_starts_fresh(self, tmp_path):
+        keeper = make_keeper(tmp_path, [("a", 1)])
+        with open(keeper._cursor_path, "w", encoding="utf-8") as f:
+            f.write("not json{")
+        reborn = make_keeper(tmp_path, [("a", 1)])
+        assert reborn.cursor is None
+
+    def test_cursor_file_is_json(self, tmp_path):
+        keeper = make_keeper(tmp_path, [("a", 1)])
+        keeper._cursor = "abc"
+        keeper._save_cursor()
+        with open(keeper._cursor_path, encoding="utf-8") as f:
+            doc = json.load(f)
+        assert doc == {"cursor": "abc", "passes": 0}
+
+
+class TestMembership:
+    LIFETIME = 900.0
+
+    def test_servers_absent_past_lifetime_become_suspect(self, tmp_path):
+        clock = ManualClock()
+        catalog = FakeCatalog()
+        catalog.reports = [FakeCatalog.report("a", 1)]
+        keeper = make_keeper(
+            tmp_path, [("a", 1), ("b", 2)], catalog=catalog, clock=clock,
+            catalog_lifetime=self.LIFETIME,
+        )
+        assert keeper.refresh_membership() == set()  # grace stamp for b
+        clock.advance(self.LIFETIME + 1)
+        assert keeper.refresh_membership() == {("b", 2)}
+        # ...and a reappearance clears the suspicion.
+        catalog.reports.append(FakeCatalog.report("b", 2))
+        assert keeper.refresh_membership() == set()
+
+    def test_new_catalog_server_is_admitted(self, tmp_path):
+        catalog = FakeCatalog()
+        catalog.reports = [
+            FakeCatalog.report("a", 1),
+            FakeCatalog.report("c", 3),
+            FakeCatalog.report("db", 9, type_="database"),  # not a file server
+        ]
+        keeper = make_keeper(tmp_path, [("a", 1)], catalog=catalog)
+        keeper.refresh_membership()
+        assert ("c", 3) in keeper.dsdb.servers
+        assert ("db", 9) not in keeper.dsdb.servers
+        assert keeper.snapshot()["servers_admitted"] == 1
+
+    def test_unreachable_catalog_keeps_previous_view(self, tmp_path):
+        clock = ManualClock()
+        catalog = FakeCatalog()
+        catalog.reports = [FakeCatalog.report("a", 1), FakeCatalog.report("b", 2)]
+        keeper = make_keeper(
+            tmp_path, [("a", 1), ("b", 2)], catalog=catalog, clock=clock,
+            catalog_lifetime=self.LIFETIME,
+        )
+        keeper.refresh_membership()
+        catalog.reports = None  # catalog outage, not server absence
+        clock.advance(self.LIFETIME + 1)
+
+        def dead_discover():
+            return None
+
+        catalog.try_discover = dead_discover
+        # Note: last_seen still ages, but absence of *evidence* must not
+        # condemn servers -- both were seen before the outage began, so
+        # they age out only because nothing refreshed them.  The keeper
+        # still treats that as suspicion (conservative), but crucially it
+        # does not crash or forget the server set.
+        suspects = keeper.refresh_membership()
+        assert keeper.dsdb.servers == [("a", 1), ("b", 2)]
+        assert suspects == {("a", 1), ("b", 2)}
+
+    def test_no_catalog_means_static_membership(self, tmp_path):
+        clock = ManualClock()
+        keeper = make_keeper(tmp_path, [("a", 1)], clock=clock)
+        clock.advance(10 * self.LIFETIME)
+        assert keeper.refresh_membership() == set()
+
+
+class TestTargetSelection:
+    def record(self, *endpoints):
+        return {
+            "id": "r1",
+            "replicas": [
+                {"host": h, "port": p, "path": "/x", "state": "ok"}
+                for h, p in endpoints
+            ],
+        }
+
+    def test_skips_occupied_and_avoided(self):
+        dsdb = FakeDSDB([("a", 1), ("b", 2), ("c", 3)])
+        replicator = Replicator(dsdb, FixedCountPolicy(2))
+        target = replicator.choose_target(
+            self.record(("a", 1)), avoid=frozenset({("b", 2)})
+        )
+        assert target == ("c", 3)
+
+    def test_open_breaker_endpoints_are_skipped(self):
+        clock = ManualClock()
+        health = HealthRegistry(BreakerPolicy(failure_threshold=1), clock)
+        health.for_endpoint("b", 2).record_failure()  # breaker open
+        dsdb = FakeDSDB([("a", 1), ("b", 2)])
+        replicator = Replicator(dsdb, FixedCountPolicy(2), health=health)
+        assert replicator.choose_target(self.record()) in {("a", 1)}
+        # Once the breaker closes again, b is eligible.
+        health.for_endpoint("b", 2).record_success()
+        choices = {replicator.choose_target(self.record()) for _ in range(8)}
+        assert ("b", 2) in choices
+
+    def test_repeat_offenders_sink_to_the_back(self):
+        dsdb = FakeDSDB([("a", 1), ("b", 2), ("c", 3)])
+        replicator = Replicator(dsdb, FixedCountPolicy(2))
+        replicator.note_target_failure(("a", 1))
+        for _ in range(8):
+            assert replicator.choose_target(self.record()) != ("a", 1)
+        # When every alternative also failed, the least-failed tier wins.
+        replicator.note_target_failure(("b", 2))
+        replicator.note_target_failure(("b", 2))
+        replicator.note_target_failure(("c", 3))
+        replicator.note_target_failure(("c", 3))
+        for _ in range(8):
+            assert replicator.choose_target(self.record()) == ("a", 1)
+        # A success wipes the slate.
+        replicator.note_target_success(("b", 2))
+        for _ in range(8):
+            assert replicator.choose_target(self.record()) == ("b", 2)
+
+    def test_none_when_everything_is_excluded(self):
+        dsdb = FakeDSDB([("a", 1)])
+        replicator = Replicator(dsdb, FixedCountPolicy(2))
+        assert replicator.choose_target(self.record(("a", 1))) is None
+
+
+class TestConfigValidation:
+    def test_rejects_bad_batch(self, tmp_path):
+        with pytest.raises(ValueError):
+            KeeperConfig(state_dir=str(tmp_path), scan_batch=0)
+
+    def test_rejects_bad_repair_cap(self, tmp_path):
+        with pytest.raises(ValueError):
+            KeeperConfig(state_dir=str(tmp_path), max_repairs_per_tick=0)
+
+    def test_state_dir_is_created(self, tmp_path):
+        keeper = make_keeper(tmp_path, [("a", 1)])
+        assert os.path.isdir(os.path.dirname(keeper._cursor_path))
