@@ -27,6 +27,8 @@ from typing import Optional, Union
 from repro.auth.methods import ClientCredentials
 from repro.adapter.fileobj import AdapterFile
 from repro.adapter.mountlist import Mountlist
+from repro.cache.manager import CacheManager
+from repro.cache.policy import CachePolicy
 from repro.chirp.protocol import OpenFlags, StatFs
 from repro.core.cfs import CFS
 from repro.core.dsfs import DSFS
@@ -68,6 +70,14 @@ class Adapter:
         adapter creates (ignored when ``pool`` is supplied).
     :param metrics: registry observing this adapter's transport traffic
         (ignored when ``pool`` is supplied).
+    :param cache_policy: opt-in client-side caching for the abstractions
+        this adapter builds (see :mod:`repro.cache.policy` for the
+        coherence contract of each mode).  Default: no caching -- the
+        paper's semantics.  With a ``pool`` supplied externally, the
+        pool's sessions are left as-is (metadata caching happens at the
+        filesystem layer only); a pool created here carries the cache
+        into every session.  The manager appears as the ``cache`` section
+        of the pool's metrics snapshot.
     """
 
     def __init__(
@@ -79,15 +89,23 @@ class Adapter:
         mountlist: Optional[Mountlist] = None,
         max_conns_per_endpoint: Optional[int] = None,
         metrics: Optional[MetricsRegistry] = None,
+        cache_policy: Optional[CachePolicy] = None,
     ):
+        # The registry holds attached sections weakly; this strong ref is
+        # what keeps the manager alive for the adapter's lifetime.
+        self.cache: Optional[CacheManager] = None
+        if cache_policy is not None and cache_policy.mode != "off":
+            self.cache = CacheManager(cache_policy)
         if pool is None:
             kwargs = {}
             if max_conns_per_endpoint is not None:
                 kwargs["max_conns_per_endpoint"] = max_conns_per_endpoint
             if metrics is not None:
                 kwargs["metrics"] = metrics
-            pool = ClientPool(credentials, policy=policy, **kwargs)
+            pool = ClientPool(credentials, policy=policy, cache=self.cache, **kwargs)
         self.pool = pool
+        if self.cache is not None:
+            self.pool.metrics.attach_section("cache", self.cache)
         self.policy = policy or RetryPolicy()
         self.sync_writes = sync_writes
         self.mountlist = mountlist or Mountlist()
@@ -156,7 +174,12 @@ class Adapter:
                 client = self.pool.get(host, port)
             except ChirpError as exc:
                 raise _oserror(exc, full) from exc
-            fs = CFS(client, policy=self.policy, sync_writes=self.sync_writes)
+            fs = CFS(
+                client,
+                policy=self.policy,
+                sync_writes=self.sync_writes,
+                cache=self.cache,
+            )
             with self._lock:
                 self._auto_cache.setdefault(key, fs)
         return fs, "/" + inner
@@ -180,6 +203,7 @@ class Adapter:
                     "/" + volume,
                     policy=self.policy,
                     sync_writes=self.sync_writes,
+                    cache=self.cache,
                 )
             except ChirpError as exc:
                 raise _oserror(exc, full) from exc
@@ -329,6 +353,8 @@ class Adapter:
             yield (mapped, dirnames, filenames)
 
     def close(self) -> None:
+        if self.cache is not None:
+            self.cache.close()
         self.pool.close()
 
     def __enter__(self) -> "Adapter":

@@ -1,0 +1,207 @@
+"""Byte-budgeted, sharded LRU cache of aligned file blocks.
+
+Entries are keyed ``(file_key, block_index)`` where ``file_key`` names
+one remote file (``host:port:/server/path`` by convention -- the same
+string the metadata cache uses, so one invalidation string covers both).
+Only *full* blocks are cached: a short read marks end-of-file at fetch
+time, and caching it would turn a later extension of the file into a
+false EOF.  The tail block therefore always goes to the server, which
+costs one RPC per file and buys a much simpler coherence story.
+
+Concurrency: the map is sharded -- each shard owns an ``OrderedDict``
+and its own lock, so readers on different files (or different blocks of
+one file) rarely contend.  Invalidation races with in-flight fetches are
+closed by per-file *epochs*: a reader samples ``epoch(key)`` before
+issuing its RPC and passes it to :meth:`put`; any invalidation bumps the
+epoch, so data fetched before a write can never be installed after the
+write invalidated the range.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Optional
+
+__all__ = ["BlockCache"]
+
+
+class _Shard:
+    __slots__ = ("lock", "entries", "bytes", "budget", "hits", "misses", "inserts", "evictions")
+
+    def __init__(self, budget: int):
+        self.lock = threading.Lock()
+        self.entries: OrderedDict[tuple[str, int], bytes] = OrderedDict()
+        self.bytes = 0
+        self.budget = budget
+        self.hits = 0
+        self.misses = 0
+        self.inserts = 0
+        self.evictions = 0
+
+
+class BlockCache:
+    """Thread-safe LRU block store with hit/miss/eviction counters."""
+
+    def __init__(self, capacity_bytes: int, block_size: int, shards: int = 8):
+        if shards < 1:
+            raise ValueError("shards must be >= 1")
+        self.block_size = int(block_size)
+        self.capacity_bytes = int(capacity_bytes)
+        # Ceil-divide the budget so the shard sum never undercuts the cap
+        # by more than rounding; a single hot shard still evicts locally.
+        per_shard = max(self.block_size, (self.capacity_bytes + shards - 1) // shards)
+        self._shards = [_Shard(per_shard) for _ in range(shards)]
+        self._epoch_lock = threading.Lock()
+        self._epochs: dict[str, int] = {}
+        self._stat_lock = threading.Lock()
+        self._stale_puts = 0
+        self._invalidated = 0
+
+    # -- epochs ----------------------------------------------------------
+
+    def epoch(self, key: str) -> int:
+        """Sample the invalidation epoch for ``key`` (before fetching)."""
+        with self._epoch_lock:
+            return self._epochs.get(key, 0)
+
+    def _bump_epoch(self, key: str) -> None:
+        with self._epoch_lock:
+            self._epochs[key] = self._epochs.get(key, 0) + 1
+
+    # -- data path -------------------------------------------------------
+
+    def _shard(self, key: str, index: int) -> _Shard:
+        return self._shards[hash((key, index)) % len(self._shards)]
+
+    def get(self, key: str, index: int) -> Optional[bytes]:
+        shard = self._shard(key, index)
+        with shard.lock:
+            data = shard.entries.get((key, index))
+            if data is None:
+                shard.misses += 1
+                return None
+            shard.entries.move_to_end((key, index))
+            shard.hits += 1
+            return data
+
+    def peek(self, key: str, index: int) -> bool:
+        """Presence probe that touches neither LRU order nor counters."""
+        shard = self._shard(key, index)
+        with shard.lock:
+            return (key, index) in shard.entries
+
+    def put(self, key: str, index: int, data: bytes, epoch: Optional[int] = None) -> bool:
+        """Install one full block; returns False if dropped.
+
+        Short blocks are refused (EOF must never be cached -- see the
+        module docstring).  With ``epoch``, the block is dropped -- or
+        removed again -- if any invalidation for ``key`` has happened
+        since the caller sampled :meth:`epoch`.
+        """
+        if len(data) != self.block_size:
+            return False
+        if epoch is not None and self.epoch(key) != epoch:
+            with self._stat_lock:
+                self._stale_puts += 1
+            return False
+        shard = self._shard(key, index)
+        with shard.lock:
+            old = shard.entries.pop((key, index), None)
+            if old is not None:
+                shard.bytes -= len(old)
+            shard.entries[(key, index)] = data
+            shard.bytes += len(data)
+            shard.inserts += 1
+            while shard.bytes > shard.budget and len(shard.entries) > 1:
+                _, victim = shard.entries.popitem(last=False)
+                shard.bytes -= len(victim)
+                shard.evictions += 1
+        # Close the sample->fetch->install race: if an invalidation slid
+        # in between the epoch check above and the insert, take the
+        # entry straight back out.
+        if epoch is not None and self.epoch(key) != epoch:
+            with shard.lock:
+                stale = shard.entries.pop((key, index), None)
+                if stale is not None:
+                    shard.bytes -= len(stale)
+            with self._stat_lock:
+                self._stale_puts += 1
+            return False
+        return True
+
+    # -- invalidation ----------------------------------------------------
+
+    def invalidate_range(self, key: str, offset: int, length: int) -> int:
+        """Drop every block overlapping ``[offset, offset+length)``."""
+        if length <= 0:
+            return 0
+        self._bump_epoch(key)
+        first = offset // self.block_size
+        last = (offset + length - 1) // self.block_size
+        dropped = 0
+        for index in range(first, last + 1):
+            shard = self._shard(key, index)
+            with shard.lock:
+                data = shard.entries.pop((key, index), None)
+                if data is not None:
+                    shard.bytes -= len(data)
+                    dropped += 1
+        if dropped:
+            with self._stat_lock:
+                self._invalidated += dropped
+        return dropped
+
+    def invalidate_file(self, key: str) -> int:
+        """Drop every cached block of ``key`` (unlink/truncate/putfile)."""
+        self._bump_epoch(key)
+        dropped = 0
+        for shard in self._shards:
+            with shard.lock:
+                victims = [k for k in shard.entries if k[0] == key]
+                for k in victims:
+                    shard.bytes -= len(shard.entries.pop(k))
+                dropped += len(victims)
+        if dropped:
+            with self._stat_lock:
+                self._invalidated += dropped
+        return dropped
+
+    def clear(self) -> None:
+        for shard in self._shards:
+            with shard.lock:
+                shard.entries.clear()
+                shard.bytes = 0
+
+    # -- accounting ------------------------------------------------------
+
+    @property
+    def cached_bytes(self) -> int:
+        return sum(s.bytes for s in self._shards)
+
+    def __len__(self) -> int:
+        return sum(len(s.entries) for s in self._shards)
+
+    def snapshot(self) -> dict:
+        hits = misses = inserts = evictions = cached = count = 0
+        for shard in self._shards:
+            with shard.lock:
+                hits += shard.hits
+                misses += shard.misses
+                inserts += shard.inserts
+                evictions += shard.evictions
+                cached += shard.bytes
+                count += len(shard.entries)
+        with self._stat_lock:
+            return {
+                "hits": hits,
+                "misses": misses,
+                "inserts": inserts,
+                "evictions": evictions,
+                "invalidated_blocks": self._invalidated,
+                "stale_puts": self._stale_puts,
+                "cached_bytes": cached,
+                "cached_blocks": count,
+                "capacity_bytes": self.capacity_bytes,
+                "block_size": self.block_size,
+            }

@@ -1,0 +1,124 @@
+"""TTL metadata cache: stat/lstat/dirent results, including absences.
+
+One entry caches the result of one metadata RPC under ``(kind, key)``
+where ``kind`` is ``"stat"``, ``"lstat"`` or ``"dirent"`` and ``key`` is
+the same file-key string the block cache uses.  A *negative* entry
+records that the path did not exist -- the ``exists()`` probes that
+dominate metadata traffic (the paper's Fig. 3 syscall table) hit those
+just as hard as positive stats.
+
+Entries carry an absolute expiry (``None`` = live until invalidated, the
+``private`` mode) measured on an injectable clock, so TTL tests step a
+:class:`~repro.util.clock.ManualClock` instead of sleeping.  The map is
+LRU-bounded by entry count; metadata results are small, so a count bound
+is an adequate byte bound.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Optional
+
+from repro.util.clock import Clock, MonotonicClock
+
+__all__ = ["MetaCache"]
+
+KINDS = ("stat", "lstat", "dirent")
+
+
+class MetaCache:
+    """Thread-safe TTL+LRU cache of metadata results.
+
+    :meth:`get` returns :data:`MetaCache.MISS`, :data:`MetaCache.NEGATIVE`,
+    or the cached value.  The sentinels are class attributes so callers
+    compare by identity.
+    """
+
+    MISS = object()
+    NEGATIVE = object()
+
+    def __init__(self, max_entries: int = 4096, clock: Optional[Clock] = None):
+        if max_entries < 1:
+            raise ValueError("max_entries must be >= 1")
+        self.max_entries = max_entries
+        self.clock = clock or MonotonicClock()
+        self._lock = threading.Lock()
+        # (kind, key) -> (value | NEGATIVE, expires_at | None)
+        self._entries: OrderedDict[tuple[str, str], tuple[object, Optional[float]]] = (
+            OrderedDict()
+        )
+        self.hits = 0
+        self.misses = 0
+        self.negative_hits = 0
+        self.expired = 0
+        self.inserts = 0
+        self.evictions = 0
+        self.invalidations = 0
+
+    def get(self, kind: str, key: str):
+        now = self.clock.now()
+        with self._lock:
+            entry = self._entries.get((kind, key))
+            if entry is None:
+                self.misses += 1
+                return MetaCache.MISS
+            value, expires = entry
+            if expires is not None and now >= expires:
+                del self._entries[(kind, key)]
+                self.expired += 1
+                self.misses += 1
+                return MetaCache.MISS
+            self._entries.move_to_end((kind, key))
+            if value is MetaCache.NEGATIVE:
+                self.negative_hits += 1
+            else:
+                self.hits += 1
+            return value
+
+    def put(self, kind: str, key: str, value, ttl: Optional[float]) -> None:
+        expires = None if ttl is None else self.clock.now() + ttl
+        with self._lock:
+            self._entries.pop((kind, key), None)
+            self._entries[(kind, key)] = (value, expires)
+            self.inserts += 1
+            while len(self._entries) > self.max_entries:
+                self._entries.popitem(last=False)
+                self.evictions += 1
+
+    def put_negative(self, kind: str, key: str, ttl: Optional[float]) -> None:
+        self.put(kind, key, MetaCache.NEGATIVE, ttl)
+
+    def invalidate(self, key: str) -> None:
+        """Drop every kind of entry for ``key``."""
+        with self._lock:
+            for kind in KINDS:
+                if self._entries.pop((kind, key), None) is not None:
+                    self.invalidations += 1
+
+    def invalidate_kind(self, kind: str, key: str) -> None:
+        with self._lock:
+            if self._entries.pop((kind, key), None) is not None:
+                self.invalidations += 1
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def snapshot(self) -> dict:
+        with self._lock:
+            return {
+                "hits": self.hits,
+                "misses": self.misses,
+                "negative_hits": self.negative_hits,
+                "expired": self.expired,
+                "inserts": self.inserts,
+                "evictions": self.evictions,
+                "invalidations": self.invalidations,
+                "entries": len(self._entries),
+                "max_entries": self.max_entries,
+            }

@@ -34,11 +34,14 @@ so a stale fd is never replayed against a newer connection.
 from __future__ import annotations
 
 import itertools
+import posixpath
 import threading
 from typing import BinaryIO, Optional, Union
 
 from repro.auth.acl import Acl
 from repro.auth.methods import ClientCredentials
+from repro.cache.manager import CacheManager
+from repro.cache.meta import MetaCache
 from repro.chirp.protocol import ChirpStat, OpenFlags, StatFs
 from repro.transport.connection import Connection
 from repro.transport.deadline import Deadline
@@ -48,7 +51,9 @@ from repro.util.errors import (
     BadFileDescriptorError,
     ChirpError,
     DisconnectedError,
+    DoesNotExistError,
 )
+from repro.util.paths import normalize_virtual
 
 __all__ = ["ChirpClient"]
 
@@ -63,6 +68,12 @@ class ChirpClient:
         :class:`~repro.core.pool.ClientPool` path); when omitted, the
         client owns a private endpoint built from ``credentials``,
         ``timeout`` and ``max_conns``.
+    :param cache: optional :class:`~repro.cache.manager.CacheManager`.
+        When its policy allows metadata caching, ``stat``/``lstat``/
+        ``getdir`` (and negative stats) are served from it; every
+        mutating verb on this client invalidates the affected entries
+        (same-client invalidation -- other clients' writes are only seen
+        after TTL expiry, per the policy's coherence contract).
     """
 
     def __init__(
@@ -74,6 +85,7 @@ class ChirpClient:
         endpoint: Optional[Endpoint] = None,
         max_conns: Optional[int] = None,
         metrics: Optional[MetricsRegistry] = None,
+        cache: Optional[CacheManager] = None,
     ):
         if endpoint is None:
             kwargs = {}
@@ -93,11 +105,13 @@ class ChirpClient:
         self.port = endpoint.port
         self.credentials = endpoint.credentials
         self.timeout = endpoint.timeout
-        # Virtual fd -> (connection, raw server fd).  Virtual fds are
-        # never reused (monotonic counter), so a stale number can never
-        # alias an fd opened after a reconnect.
+        self.cache = cache
+        # Virtual fd -> (connection, raw server fd, server path).  The
+        # path rides along so fd-level writes can invalidate the cache.
+        # Virtual fds are never reused (monotonic counter), so a stale
+        # number can never alias an fd opened after a reconnect.
         self._fd_lock = threading.Lock()
-        self._fds: dict[int, tuple[Connection, int]] = {}
+        self._fds: dict[int, tuple[Connection, int, str]] = {}
         self._next_fd = itertools.count(3)
         self.connect()
 
@@ -165,8 +179,8 @@ class ChirpClient:
         finally:
             self.endpoint.checkin(conn)
 
-    def _fd_conn(self, fd: int) -> tuple[Connection, int]:
-        """Route a virtual fd to its owning connection."""
+    def _fd_entry(self, fd: int) -> tuple[Connection, int, str]:
+        """Route a virtual fd to its owning connection (and server path)."""
         with self._fd_lock:
             entry = self._fds.get(fd)
         if entry is None:
@@ -174,13 +188,37 @@ class ChirpClient:
             # stay mapped (to a closed connection) so recovery still sees
             # DisconnectedError below.
             raise BadFileDescriptorError(f"fd {fd} is not open on this client")
-        conn, raw_fd = entry
+        conn, raw_fd, path = entry
         if conn.closed:
             # Keep the mapping: the caller may probe the dead fd again
             # before recovery runs, and each probe must keep reading as a
             # disconnect.  connect()/close() clear the table.
             raise DisconnectedError(f"fd {fd}: its connection is gone")
+        return conn, raw_fd, path
+
+    def _fd_conn(self, fd: int) -> tuple[Connection, int]:
+        conn, raw_fd, _ = self._fd_entry(fd)
         return conn, raw_fd
+
+    # -- cache plumbing --------------------------------------------------
+
+    def _ckey(self, path: str) -> str:
+        return f"{self.host}:{self.port}:{normalize_virtual(path)}"
+
+    def _parent_ckey(self, path: str) -> str:
+        parent = posixpath.dirname(normalize_virtual(path)) or "/"
+        return f"{self.host}:{self.port}:{parent}"
+
+    def _cache_entry_changed(self, path: str, data: bool = False) -> None:
+        """A namespace entry changed under this client: drop its cached
+        metadata (and blocks when ``data``), plus the parent listing."""
+        if self.cache is None:
+            return
+        if data:
+            self.cache.invalidate_data(self._ckey(path))
+        else:
+            self.cache.invalidate_meta(self._ckey(path))
+        self.cache.invalidate_dirent(self._parent_ckey(path))
 
     # -- file I/O -------------------------------------------------------
 
@@ -208,7 +246,15 @@ class ChirpClient:
             self.endpoint.checkin(conn)
         with self._fd_lock:
             fd = next(self._next_fd)
-            self._fds[fd] = (conn, raw_fd)
+            self._fds[fd] = (conn, raw_fd, path)
+        if self.cache is not None:
+            if flags.truncate:
+                # O_TRUNC wiped the data on the server.
+                self.cache.invalidate_data(self._ckey(path))
+            if flags.create:
+                # The file may have just come into existence: kill any
+                # negative stat entry and the parent's cached listing.
+                self._cache_entry_changed(path)
         return fd
 
     def close_fd(self, fd: int) -> None:
@@ -231,8 +277,11 @@ class ChirpClient:
         return conn.pread(raw_fd, length, offset, deadline=deadline)
 
     def pwrite(self, fd: int, data: bytes, offset: int) -> int:
-        conn, raw_fd = self._fd_conn(fd)
-        return conn.pwrite(raw_fd, data, offset)
+        conn, raw_fd, path = self._fd_entry(fd)
+        n = conn.pwrite(raw_fd, data, offset)
+        if self.cache is not None and n:
+            self.cache.on_data_write(self._ckey(path), offset, n)
+        return n
 
     def fsync(self, fd: int) -> None:
         conn, raw_fd = self._fd_conn(fd)
@@ -243,16 +292,41 @@ class ChirpClient:
         return conn.fstat(raw_fd)
 
     def ftruncate(self, fd: int, size: int) -> None:
-        conn, raw_fd = self._fd_conn(fd)
+        conn, raw_fd, path = self._fd_entry(fd)
         conn.ftruncate(raw_fd, size)
+        if self.cache is not None:
+            self.cache.invalidate_data(self._ckey(path))
 
     # -- namespace ------------------------------------------------------
 
+    def _cached_meta(self, kind: str, path: str, fetch):
+        """Serve one metadata lookup through the cache (incl. absences)."""
+        cache = self.cache
+        if cache is None or not cache.meta_enabled:
+            return fetch()
+        key = self._ckey(path)
+        hit = cache.meta.get(kind, key)
+        if hit is MetaCache.NEGATIVE:
+            raise DoesNotExistError(f"{path}: no such file or directory (cached)")
+        if hit is not MetaCache.MISS:
+            return hit
+        try:
+            value = fetch()
+        except DoesNotExistError:
+            cache.meta.put_negative(kind, key, cache.policy.negative_expiry())
+            raise
+        cache.meta.put(kind, key, value, cache.policy.meta_expiry())
+        return value
+
     def stat(self, path: str, deadline: Optional[Deadline] = None) -> ChirpStat:
-        return self._stateless(lambda c: c.stat(path, deadline=deadline))
+        return self._cached_meta(
+            "stat", path, lambda: self._stateless(lambda c: c.stat(path, deadline=deadline))
+        )
 
     def lstat(self, path: str) -> ChirpStat:
-        return self._stateless(lambda c: c.lstat(path))
+        return self._cached_meta(
+            "lstat", path, lambda: self._stateless(lambda c: c.lstat(path))
+        )
 
     def access(self, path: str, rights: str = "l") -> None:
         self._stateless(lambda c: c.access(path, rights))
@@ -267,24 +341,42 @@ class ChirpClient:
 
     def unlink(self, path: str) -> None:
         self._stateless(lambda c: c.unlink(path))
+        self._cache_entry_changed(path, data=True)
 
     def rename(self, old: str, new: str) -> None:
         self._stateless(lambda c: c.rename(old, new))
+        self._cache_entry_changed(old, data=True)
+        self._cache_entry_changed(new, data=True)
 
     def mkdir(self, path: str, mode: int = 0o755) -> None:
         self._stateless(lambda c: c.mkdir(path, mode))
+        self._cache_entry_changed(path)
 
     def rmdir(self, path: str) -> None:
         self._stateless(lambda c: c.rmdir(path))
+        self._cache_entry_changed(path)
 
     def getdir(self, path: str, deadline: Optional[Deadline] = None) -> list[str]:
-        return self._stateless(lambda c: c.getdir(path, deadline=deadline))
+        names = self._cached_meta(
+            "dirent",
+            path,
+            lambda: tuple(
+                self._stateless(lambda c: c.getdir(path, deadline=deadline))
+            ),
+        )
+        # Stored as a tuple so a caller mutating its copy cannot poison
+        # the cache.
+        return list(names)
 
     def truncate(self, path: str, size: int) -> None:
         self._stateless(lambda c: c.truncate(path, size))
+        if self.cache is not None:
+            self.cache.invalidate_data(self._ckey(path))
 
     def utime(self, path: str, atime: int, mtime: int) -> None:
         self._stateless(lambda c: c.utime(path, atime, mtime))
+        if self.cache is not None:
+            self.cache.invalidate_meta(self._ckey(path))
 
     def checksum(self, path: str, deadline: Optional[Deadline] = None) -> str:
         return self._stateless(lambda c: c.checksum(path, deadline=deadline))
@@ -308,7 +400,9 @@ class ChirpClient:
         length: Optional[int] = None,
     ) -> int:
         """Stream a whole file to the server (create/truncate semantics)."""
-        return self._stateless(lambda c: c.putfile(path, data, mode, length))
+        n = self._stateless(lambda c: c.putfile(path, data, mode, length))
+        self._cache_entry_changed(path, data=True)
+        return n
 
     # -- ACLs and server state ---------------------------------------------
 

@@ -21,6 +21,7 @@ import stat as stat_mod
 import sys
 
 from repro.adapter.adapter import Adapter
+from repro.cache.policy import CACHE_MODES, CachePolicy
 from repro.catalog.client import query_catalog
 
 __all__ = ["main"]
@@ -221,6 +222,25 @@ def _cmd_keeper(adapter: Adapter, args) -> int:
 
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(prog="tss", description=__doc__)
+    parser.add_argument(
+        "--cache-mode",
+        default="off",
+        choices=CACHE_MODES,
+        help="client-side caching: off (paper semantics, default), "
+        "private (data+meta, single-writer), ttl (bounded-staleness meta)",
+    )
+    parser.add_argument(
+        "--cache-ttl", type=float, default=2.0,
+        help="metadata TTL in seconds for --cache-mode=ttl",
+    )
+    parser.add_argument(
+        "--cache-capacity", type=int, default=64 * 1024 * 1024,
+        help="block cache byte budget for --cache-mode=private",
+    )
+    parser.add_argument(
+        "--cache-block-size", type=int, default=64 * 1024,
+        help="block cache granularity in bytes",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     p = sub.add_parser("ls", help="list a directory")
@@ -320,7 +340,15 @@ def main(argv: list[str] | None = None) -> int:
     ):
         print("tss acl set needs SUBJECT and RIGHTS", file=sys.stderr)
         return 2
-    adapter = Adapter()
+    cache_policy = None
+    if args.cache_mode != "off":
+        cache_policy = CachePolicy(
+            mode=args.cache_mode,
+            meta_ttl=args.cache_ttl,
+            capacity_bytes=args.cache_capacity,
+            block_size=args.cache_block_size,
+        )
+    adapter = Adapter(cache_policy=cache_policy)
     try:
         return args.fn(adapter, args)
     except OSError as exc:

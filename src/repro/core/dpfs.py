@@ -15,6 +15,7 @@ from __future__ import annotations
 import os
 from typing import Optional, Sequence
 
+from repro.cache.manager import CacheManager
 from repro.core.metastore import LocalMetadataStore, VOLUME_FILE
 from repro.core.placement import PlacementPolicy
 from repro.core.pool import ClientPool
@@ -62,6 +63,7 @@ class DPFS(StubFilesystem):
         name: str = "dpfs",
         placement: Optional[PlacementPolicy] = None,
         policy: Optional[RetryPolicy] = None,
+        cache: Optional[CacheManager] = None,
     ) -> "DPFS":
         """Create a new DPFS volume.
 
@@ -74,7 +76,15 @@ class DPFS(StubFilesystem):
         meta = LocalMetadataStore(meta_root)
         meta.write_config({"name": name, "servers": servers, "data_dir": data_dir})
         _ensure_remote_dirs(pool, servers, data_dir)
-        fs = cls(meta_root, pool, servers, data_dir, placement=placement, policy=policy)
+        fs = cls(
+            meta_root,
+            pool,
+            servers,
+            data_dir,
+            placement=placement,
+            policy=policy,
+            cache=cache,
+        )
         return fs
 
     @classmethod
@@ -85,6 +95,7 @@ class DPFS(StubFilesystem):
         placement: Optional[PlacementPolicy] = None,
         policy: Optional[RetryPolicy] = None,
         sync_writes: bool = False,
+        cache: Optional[CacheManager] = None,
     ) -> "DPFS":
         """Open an existing DPFS volume from its local metadata root."""
         meta = LocalMetadataStore(meta_root)
@@ -97,6 +108,7 @@ class DPFS(StubFilesystem):
             placement=placement,
             policy=policy,
             sync_writes=sync_writes,
+            cache=cache,
         )
 
     def add_server(self, host: str, port: int) -> None:

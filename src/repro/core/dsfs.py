@@ -15,6 +15,7 @@ from __future__ import annotations
 
 from typing import Optional, Sequence
 
+from repro.cache.manager import CacheManager
 from repro.core.dpfs import _ensure_remote_dirs
 from repro.core.metastore import ChirpMetadataStore, VOLUME_FILE
 from repro.core.placement import PlacementPolicy
@@ -60,6 +61,7 @@ class DSFS(StubFilesystem):
         name: str = "dsfs",
         placement: Optional[PlacementPolicy] = None,
         policy: Optional[RetryPolicy] = None,
+        cache: Optional[CacheManager] = None,
     ) -> "DSFS":
         """Create a new shared volume rooted at ``dir_root`` on the
         directory server, storing data across ``servers``."""
@@ -85,6 +87,7 @@ class DSFS(StubFilesystem):
             data_dir,
             placement=placement,
             policy=policy,
+            cache=cache,
         )
         fs.meta.write_config({"name": name, "servers": servers, "data_dir": data_dir})
         return fs
@@ -99,6 +102,7 @@ class DSFS(StubFilesystem):
         placement: Optional[PlacementPolicy] = None,
         policy: Optional[RetryPolicy] = None,
         sync_writes: bool = False,
+        cache: Optional[CacheManager] = None,
     ) -> "DSFS":
         """Open an existing shared volume by directory-server address."""
         meta = ChirpMetadataStore(
@@ -117,6 +121,7 @@ class DSFS(StubFilesystem):
             placement=placement,
             policy=policy,
             sync_writes=sync_writes,
+            cache=cache,
         )
 
     def add_server(self, host: str, port: int) -> None:

@@ -20,6 +20,7 @@ import threading
 from typing import Optional
 
 from repro.auth.methods import ClientCredentials
+from repro.cache.manager import CacheManager
 from repro.chirp.client import ChirpClient
 from repro.transport.endpoint import DEFAULT_MAX_CONNS, EndpointManager
 from repro.transport.health import HealthRegistry
@@ -35,6 +36,9 @@ class ClientPool:
     :param max_conns_per_endpoint: connection cap handed to every
         endpoint; >1 lets fan-out abstractions overlap RPCs to the same
         server.
+    :param cache: optional :class:`CacheManager` handed to every session,
+        so metadata caching (and its invalidation) is shared across all
+        servers the pool reaches.
     """
 
     def __init__(
@@ -45,6 +49,7 @@ class ClientPool:
         policy: Optional[RetryPolicy] = None,
         metrics: Optional[MetricsRegistry] = None,
         health: Optional[HealthRegistry] = None,
+        cache: Optional[CacheManager] = None,
     ):
         self.endpoints = EndpointManager(
             credentials=credentials,
@@ -56,6 +61,7 @@ class ClientPool:
         )
         self.credentials = self.endpoints.credentials
         self.timeout = timeout
+        self.cache = cache
         self._clients: dict[tuple[str, int], ChirpClient] = {}
         self._lock = threading.Lock()
 
@@ -71,9 +77,12 @@ class ClientPool:
     def get(self, host: str, port: int) -> ChirpClient:
         """Connect (or reuse the cached session) to a server.
 
-        A cached-but-dead client is returned as-is: handle-level recovery
-        owns reconnection so that generation numbers advance exactly once
-        per reconnect, no matter how many handles notice the failure.
+        A cached-but-dead client is returned as-is -- *deliberately*:
+        handle-level recovery owns reconnection so that generation
+        numbers advance exactly once per reconnect, no matter how many
+        handles notice the failure.  Callers that want a pool with no
+        dead sessions (e.g. before a placement decision) call
+        :meth:`evict_dead` explicitly.
         """
         key = (host, int(port))
         with self._lock:
@@ -83,6 +92,7 @@ class ClientPool:
                     host,
                     int(port),
                     endpoint=self.endpoints.endpoint(host, int(port)),
+                    cache=self.cache,
                 )
                 self._clients[key] = client
             return client
@@ -109,6 +119,26 @@ class ClientPool:
     def invalidate(self, host: str, port: int) -> None:
         """Historical name for :meth:`evict`."""
         self.evict(host, port)
+
+    def evict_dead(self) -> list[tuple[str, int]]:
+        """Drop every cached session whose endpoint holds no live
+        connection; returns the endpoints evicted.
+
+        The cheap liveness check (no RPC, just socket state) for callers
+        that must not be handed a dead session silently -- the complement
+        of :meth:`get`'s hands-off contract.  Sessions with handles in
+        active recovery are *not* special-cased: eviction closes the old
+        endpoint, and recovering handles dial a fresh one on next use.
+        """
+        with self._lock:
+            dead = [
+                key
+                for key, client in self._clients.items()
+                if not client.endpoint.is_connected
+            ]
+        for host, port in dead:
+            self.evict(host, port)
+        return dead
 
     def close_all(self) -> None:
         """Close every session and every endpoint."""

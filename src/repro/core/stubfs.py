@@ -20,10 +20,14 @@ implements the paper's semantics over that structure:
 
 from __future__ import annotations
 
+import itertools
 import posixpath
 from dataclasses import replace
 from typing import Optional, Sequence
 
+from repro.cache.handle import CachedFileHandle
+from repro.cache.manager import CacheManager, file_key
+from repro.cache.meta import MetaCache
 from repro.chirp.protocol import ChirpStat, OpenFlags, StatFs
 from repro.core.cfs import ChirpFileHandle
 from repro.core.interface import FileHandle, Filesystem
@@ -49,6 +53,11 @@ __all__ = ["StubFilesystem"]
 _CREATE_ATTEMPTS = 4  # retries on data-name collision
 _STUB_READ_ATTEMPTS = 5  # retries while a freshly created stub is empty
 
+# Merged stats (namespace identity + data-file attributes) are cached
+# under a synthetic per-instance "host" so two stub filesystems mounted
+# over the same cache manager can never see each other's entries.
+_stubfs_ns = itertools.count()
+
 
 class StubFilesystem(Filesystem):
     """A distributed filesystem of stubs + data servers.
@@ -66,6 +75,7 @@ class StubFilesystem(Filesystem):
         placement: Optional[PlacementPolicy] = None,
         policy: Optional[RetryPolicy] = None,
         sync_writes: bool = False,
+        cache: Optional[CacheManager] = None,
     ):
         if not servers:
             raise ValueError("a stub filesystem needs at least one data server")
@@ -76,6 +86,8 @@ class StubFilesystem(Filesystem):
         self.placement = placement or RoundRobinPlacement()
         self.policy = policy or RetryPolicy()
         self.sync_writes = sync_writes
+        self.cache = cache
+        self._cache_host = f"stubfs{next(_stubfs_ns)}"
 
     # ------------------------------------------------------------------
     # helpers
@@ -101,9 +113,41 @@ class StubFilesystem(Filesystem):
             self.policy.clock.sleep(0.01)
         raise DoesNotExistError(f"{path}: stub never completed creation") from last
 
-    def _data_handle(self, stub: Stub, flags: OpenFlags, mode: int) -> ChirpFileHandle:
+    def _merged_key(self, path: str) -> str:
+        return file_key(self._cache_host, 0, normalize_virtual(path))
+
+    def _entry_changed(self, path: str, stub: Optional[Stub] = None) -> None:
+        """Drop the merged stat for ``path`` and, when the stub is known,
+        the data file's blocks + metadata on its server's shared key."""
+        if self.cache is None:
+            return
+        self.cache.meta.invalidate(self._merged_key(path))
+        if stub is not None:
+            self.cache.invalidate_data(file_key(stub.host, stub.port, stub.path))
+
+    def _data_handle(
+        self, stub: Stub, flags: OpenFlags, mode: int, path: Optional[str] = None
+    ) -> FileHandle:
         client = self.pool.get(*stub.endpoint)
-        return ChirpFileHandle(client, stub.path, flags, mode, self.policy)
+        handle: FileHandle = ChirpFileHandle(
+            client, stub.path, flags, mode, self.policy
+        )
+        cache = self.cache
+        if cache is None or not cache.data_enabled:
+            return handle
+        data_key = file_key(stub.host, stub.port, stub.path)
+        if flags.truncate:
+            cache.invalidate_data(data_key)
+        merged_key = self._merged_key(path) if path is not None else None
+
+        def on_mutate():
+            # The data write already invalidated the shared data-server
+            # key (CachedFileHandle does that); the merged stat lives
+            # under this filesystem's private namespace and must go too.
+            if merged_key is not None:
+                cache.meta.invalidate(merged_key)
+
+        return CachedFileHandle(handle, cache, data_key, on_mutate=on_mutate)
 
     def _is_dir(self, path: str) -> bool:
         try:
@@ -134,7 +178,7 @@ class StubFilesystem(Filesystem):
         for attempt in range(_STUB_READ_ATTEMPTS):
             stub = self._read_stub(path)
             try:
-                return self._data_handle(stub, dflags, mode)
+                return self._data_handle(stub, dflags, mode, path)
             except DoesNotExistError:
                 if attempt + 1 < _STUB_READ_ATTEMPTS:
                     self.policy.clock.sleep(0.01)
@@ -158,7 +202,10 @@ class StubFilesystem(Filesystem):
             # Step 3: exclusively create the data file.
             dflags = replace(flags, create=True, exclusive=True, write=True)
             try:
-                return self._data_handle(stub, dflags, mode)
+                handle = self._data_handle(stub, dflags, mode, path)
+                # The path may have been cached as absent before creation.
+                self._entry_changed(path)
+                return handle
             except AlreadyExistsError:
                 # Unlikely data-name collision: abort this creation
                 # (paper's rule) and retry with a fresh name.
@@ -179,6 +226,26 @@ class StubFilesystem(Filesystem):
 
     def stat(self, path: str) -> ChirpStat:
         path = self._guard_name(path)
+        cache = self.cache
+        key = None
+        if cache is not None and cache.meta_enabled:
+            key = self._merged_key(path)
+            cached = cache.meta.get("stat", key)
+            if cached is MetaCache.NEGATIVE:
+                raise DoesNotExistError(f"{path}: no such file or directory (cached)")
+            if cached is not MetaCache.MISS:
+                return cached
+        try:
+            merged = self._stat_uncached(path)
+        except DoesNotExistError:
+            if key is not None:
+                cache.meta.put_negative("stat", key, cache.policy.negative_expiry())
+            raise
+        if key is not None:
+            cache.meta.put("stat", key, merged, cache.policy.meta_expiry())
+        return merged
+
+    def _stat_uncached(self, path: str) -> ChirpStat:
         mst = self.meta.stat(path)
         if mst.is_dir:
             return mst
@@ -236,10 +303,14 @@ class StubFilesystem(Filesystem):
             if not force:
                 raise
         self.meta.unlink(path)
+        self._entry_changed(path, stub)
 
     def rename(self, old: str, new: str) -> None:
         # Name-only: the stub moves, the data file never does.
-        self.meta.rename(self._guard_name(old), self._guard_name(new))
+        old, new = self._guard_name(old), self._guard_name(new)
+        self.meta.rename(old, new)
+        self._entry_changed(old)
+        self._entry_changed(new)
 
     def mkdir(self, path: str, mode: int = 0o755) -> None:
         self.meta.mkdir(self._guard_name(path), mode)
@@ -254,6 +325,7 @@ class StubFilesystem(Filesystem):
         self.policy.run(
             lambda: client.truncate(stub.path, size), client.ensure_connected
         )
+        self._entry_changed(path, stub)
 
     def utime(self, path: str, atime: int, mtime: int) -> None:
         path = self._guard_name(path)
@@ -262,6 +334,7 @@ class StubFilesystem(Filesystem):
         self.policy.run(
             lambda: client.utime(stub.path, atime, mtime), client.ensure_connected
         )
+        self._entry_changed(path)
 
     def statfs(self) -> StatFs:
         """Aggregate capacity over the *reachable* data servers."""
@@ -281,6 +354,35 @@ class StubFilesystem(Filesystem):
         if reachable == 0:
             raise DisconnectedError("no data server reachable for statfs")
         return StatFs(total, free)
+
+    # ------------------------------------------------------------------
+    # streaming fast path
+    # ------------------------------------------------------------------
+
+    def read_file(self, path: str) -> bytes:
+        """Whole-file read as one ``getfile`` on the data server.
+
+        Mirrors :meth:`_open_existing`'s tolerance of the create window:
+        a stub whose data file has not appeared yet gets a few retries
+        before being declared dangling.  With a data-caching policy the
+        handle path is used instead, so repeat reads hit the block cache.
+        """
+        if self.cache is not None and self.cache.data_enabled:
+            return super().read_file(path)
+        path = self._guard_name(path)
+        if self._is_dir(path):
+            raise IsADirectoryError_(path)
+        for attempt in range(_STUB_READ_ATTEMPTS):
+            stub = self._read_stub(path)
+            client = self.pool.get(*stub.endpoint)
+            try:
+                return self.policy.run(
+                    lambda: client.getfile(stub.path), client.ensure_connected
+                )
+            except DoesNotExistError:
+                if attempt + 1 < _STUB_READ_ATTEMPTS:
+                    self.policy.clock.sleep(0.01)
+        raise DoesNotExistError(f"{path}: dangling stub (no data file)")
 
     # ------------------------------------------------------------------
     # introspection used by tools and tests

@@ -117,6 +117,16 @@ class FanoutPool:
             raise first_error
         return results
 
+    def submit(self, task: Callable[[], T]):
+        """Fire one task asynchronously; returns its Future.
+
+        The fire-and-forget counterpart of :meth:`run`, used by the cache
+        subsystem's readahead: the caller may wait on the future, or
+        ignore it entirely.  Unlike :meth:`run`, a single task still goes
+        through the executor -- asynchrony is the point.
+        """
+        return self._ensure_executor().submit(task)
+
     def shutdown(self) -> None:
         with self._lock:
             executor, self._executor = self._executor, None

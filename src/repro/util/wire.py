@@ -189,6 +189,15 @@ class LineStream:
     def write_line(self, *tokens: object) -> None:
         self.write(pack_line(*tokens))
 
+    def write_lines(self, lines) -> None:
+        """Send many token-tuples as one ``sendall``.
+
+        Multi-line responses (directory listings, ACL dumps) coalesce
+        into a single syscall and, with Nagle disabled, a single segment
+        burst -- instead of one ``send`` per entry.
+        """
+        self.write(b"".join(pack_line(*tokens) for tokens in lines))
+
     def write_from_file(self, fobj, length: int, chunk_size: int = 1 << 20) -> None:
         """Stream ``length`` bytes from a file object to the peer."""
         remaining = length

@@ -1,0 +1,409 @@
+"""Unit tests for the client-side cache subsystem.
+
+Covers the block cache (LRU budget, full-block rule, epochs), the
+metadata cache (TTL, negatives, LRU bound), the cached handle (span
+fetch, readahead, write-through invalidation) and the client-level
+metadata caching wired through :class:`~repro.chirp.client.ChirpClient`.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cache.block import BlockCache
+from repro.cache.handle import CachedFileHandle
+from repro.cache.manager import CacheManager, file_key
+from repro.cache.meta import MetaCache
+from repro.cache.policy import CachePolicy
+from repro.chirp.client import ChirpClient
+from repro.chirp.protocol import OpenFlags
+from repro.core.localfs import LocalFilesystem
+from repro.util.clock import ManualClock
+from repro.util.errors import DoesNotExistError
+
+BS = 16  # tiny blocks keep the tests readable
+
+
+def block(byte: int, size: int = BS) -> bytes:
+    return bytes([byte]) * size
+
+
+# ----------------------------------------------------------------------
+# BlockCache
+# ----------------------------------------------------------------------
+
+
+class TestBlockCache:
+    def test_get_put_and_counters(self):
+        bc = BlockCache(capacity_bytes=8 * BS, block_size=BS, shards=2)
+        assert bc.get("f", 0) is None
+        assert bc.put("f", 0, block(1))
+        assert bc.get("f", 0) == block(1)
+        snap = bc.snapshot()
+        assert snap["hits"] == 1
+        assert snap["misses"] == 1
+        assert snap["inserts"] == 1
+        assert snap["cached_bytes"] == BS
+
+    def test_short_blocks_are_never_cached(self):
+        bc = BlockCache(capacity_bytes=8 * BS, block_size=BS)
+        assert not bc.put("f", 0, b"short")
+        assert bc.get("f", 0) is None
+
+    def test_lru_eviction_respects_byte_budget(self):
+        bc = BlockCache(capacity_bytes=4 * BS, block_size=BS, shards=1)
+        for i in range(6):
+            assert bc.put("f", i, block(i))
+        assert bc.cached_bytes <= 4 * BS
+        snap = bc.snapshot()
+        assert snap["evictions"] == 2
+        # Oldest blocks went first.
+        assert bc.get("f", 0) is None
+        assert bc.get("f", 5) == block(5)
+
+    def test_lru_order_follows_access(self):
+        bc = BlockCache(capacity_bytes=2 * BS, block_size=BS, shards=1)
+        bc.put("f", 0, block(0))
+        bc.put("f", 1, block(1))
+        assert bc.get("f", 0) == block(0)  # refresh block 0
+        bc.put("f", 2, block(2))  # evicts block 1, not 0
+        assert bc.get("f", 0) == block(0)
+        assert bc.get("f", 1) is None
+
+    def test_peek_touches_nothing(self):
+        bc = BlockCache(capacity_bytes=4 * BS, block_size=BS)
+        bc.put("f", 0, block(0))
+        before = bc.snapshot()
+        assert bc.peek("f", 0)
+        assert not bc.peek("f", 9)
+        after = bc.snapshot()
+        assert (after["hits"], after["misses"]) == (before["hits"], before["misses"])
+
+    def test_invalidate_range_drops_overlapped_blocks_only(self):
+        bc = BlockCache(capacity_bytes=16 * BS, block_size=BS, shards=1)
+        for i in range(4):
+            bc.put("f", i, block(i))
+        # Touch bytes inside blocks 1 and 2.
+        dropped = bc.invalidate_range("f", BS + 1, BS)
+        assert dropped == 2
+        assert bc.get("f", 0) == block(0)
+        assert bc.get("f", 1) is None
+        assert bc.get("f", 2) is None
+        assert bc.get("f", 3) == block(3)
+
+    def test_invalidate_file_is_per_key(self):
+        bc = BlockCache(capacity_bytes=16 * BS, block_size=BS)
+        bc.put("a", 0, block(1))
+        bc.put("b", 0, block(2))
+        assert bc.invalidate_file("a") == 1
+        assert bc.get("a", 0) is None
+        assert bc.get("b", 0) == block(2)
+
+    def test_epoch_blocks_stale_install(self):
+        bc = BlockCache(capacity_bytes=16 * BS, block_size=BS)
+        epoch = bc.epoch("f")
+        # Fetch was in flight when a write invalidated the file.
+        bc.invalidate_range("f", 0, BS)
+        assert not bc.put("f", 0, block(9), epoch=epoch)
+        assert bc.get("f", 0) is None
+        assert bc.snapshot()["stale_puts"] == 1
+
+    def test_put_without_epoch_is_unconditional(self):
+        bc = BlockCache(capacity_bytes=16 * BS, block_size=BS)
+        bc.invalidate_file("f")
+        assert bc.put("f", 0, block(3))
+
+
+# ----------------------------------------------------------------------
+# MetaCache
+# ----------------------------------------------------------------------
+
+
+class TestMetaCache:
+    def test_miss_then_hit(self):
+        mc = MetaCache(clock=ManualClock())
+        assert mc.get("stat", "k") is MetaCache.MISS
+        mc.put("stat", "k", "value", ttl=None)
+        assert mc.get("stat", "k") == "value"
+        snap = mc.snapshot()
+        assert snap["hits"] == 1 and snap["misses"] == 1
+
+    def test_ttl_expiry_on_manual_clock(self):
+        clock = ManualClock()
+        mc = MetaCache(clock=clock)
+        mc.put("stat", "k", "value", ttl=2.0)
+        clock.advance(1.9)
+        assert mc.get("stat", "k") == "value"
+        clock.advance(0.2)
+        assert mc.get("stat", "k") is MetaCache.MISS
+        assert mc.snapshot()["expired"] == 1
+
+    def test_negative_entries_expire(self):
+        clock = ManualClock()
+        mc = MetaCache(clock=clock)
+        mc.put_negative("stat", "gone", ttl=1.0)
+        assert mc.get("stat", "gone") is MetaCache.NEGATIVE
+        assert mc.snapshot()["negative_hits"] == 1
+        clock.advance(1.5)
+        assert mc.get("stat", "gone") is MetaCache.MISS
+
+    def test_invalidate_covers_every_kind(self):
+        mc = MetaCache(clock=ManualClock())
+        mc.put("stat", "k", "s", ttl=None)
+        mc.put("lstat", "k", "l", ttl=None)
+        mc.put("dirent", "k", ("a", "b"), ttl=None)
+        mc.invalidate("k")
+        for kind in ("stat", "lstat", "dirent"):
+            assert mc.get(kind, "k") is MetaCache.MISS
+        assert mc.snapshot()["invalidations"] == 3
+
+    def test_entry_bound_evicts_lru(self):
+        mc = MetaCache(max_entries=2, clock=ManualClock())
+        mc.put("stat", "a", 1, ttl=None)
+        mc.put("stat", "b", 2, ttl=None)
+        assert mc.get("stat", "a") == 1  # refresh a
+        mc.put("stat", "c", 3, ttl=None)
+        assert mc.get("stat", "b") is MetaCache.MISS
+        assert mc.get("stat", "a") == 1
+        assert len(mc) == 2
+
+
+# ----------------------------------------------------------------------
+# CachePolicy modes
+# ----------------------------------------------------------------------
+
+
+class TestCachePolicy:
+    def test_mode_gates(self):
+        off = CachePolicy(mode="off")
+        assert not off.data_enabled and not off.meta_enabled
+        ttl = CachePolicy(mode="ttl")
+        assert not ttl.data_enabled and ttl.meta_enabled
+        assert not ttl.readahead_enabled
+        private = CachePolicy(mode="private")
+        assert private.data_enabled and private.meta_enabled
+        assert private.readahead_enabled
+
+    def test_expiries(self):
+        private = CachePolicy(mode="private", negative_ttl=3.0)
+        assert private.meta_expiry() is None  # until invalidated
+        assert private.negative_expiry() == 3.0  # negatives always age out
+        ttl = CachePolicy(mode="ttl", meta_ttl=5.0)
+        assert ttl.meta_expiry() == 5.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CachePolicy(mode="bogus")
+        with pytest.raises(ValueError):
+            CachePolicy(block_size=0)
+        with pytest.raises(ValueError):
+            CachePolicy(capacity_bytes=1, block_size=64)
+
+
+# ----------------------------------------------------------------------
+# CachedFileHandle over a local filesystem
+# ----------------------------------------------------------------------
+
+
+def make_cached(tmp_path, data: bytes, **policy_kwargs):
+    policy_kwargs.setdefault("mode", "private")
+    policy_kwargs.setdefault("block_size", BS)
+    policy_kwargs.setdefault("capacity_bytes", 64 * BS)
+    policy = CachePolicy(**policy_kwargs)
+    cache = CacheManager(policy, synchronous_readahead=True)
+    fs = LocalFilesystem(str(tmp_path))
+    fs.write_file("/data.bin", data)
+    inner = fs.open("/data.bin", OpenFlags(read=True, write=True))
+    key = file_key("local", 0, "/data.bin")
+    return CachedFileHandle(inner, cache, key), cache, fs
+
+
+class RecordingHandle:
+    """Wraps a handle, recording every pread the cache actually issues."""
+
+    def __init__(self, inner):
+        self.inner = inner
+        self.preads: list[tuple[int, int]] = []
+
+    def pread(self, length, offset, deadline=None):
+        self.preads.append((length, offset))
+        return self.inner.pread(length, offset)
+
+    def __getattr__(self, name):
+        return getattr(self.inner, name)
+
+
+class TestCachedFileHandle:
+    def test_reads_are_byte_identical(self, tmp_path):
+        data = bytes(range(256)) * 4
+        handle, cache, _ = make_cached(tmp_path, data)
+        with handle:
+            assert handle.pread(len(data), 0) == data
+            assert handle.pread(7, 3) == data[3:10]
+            assert handle.pread(100, len(data) - 5) == data[-5:]
+            assert handle.pread(10, len(data) + 50) == b""
+
+    def test_warm_reread_skips_the_server(self, tmp_path):
+        data = block(1) * 8  # 8 full blocks, no tail
+        handle, cache, _ = make_cached(tmp_path, data, readahead_blocks=0)
+        recorder = RecordingHandle(handle.inner)
+        handle.inner = recorder
+        with handle:
+            assert handle.pread(len(data), 0) == data
+            cold_rpcs = len(recorder.preads)
+            assert handle.pread(len(data), 0) == data
+            # Everything but the (uncacheable) tail probe is served locally.
+            assert len(recorder.preads) == cold_rpcs
+        assert cache.blocks.snapshot()["hits"] >= 8
+
+    def test_cold_multiblock_read_is_one_span_rpc(self, tmp_path):
+        data = block(2) * 8
+        handle, cache, _ = make_cached(tmp_path, data, readahead_blocks=0)
+        recorder = RecordingHandle(handle.inner)
+        handle.inner = recorder
+        with handle:
+            handle.pread(4 * BS, 0)
+        assert recorder.preads == [(4 * BS, 0)]
+
+    def test_write_through_invalidates_overlap(self, tmp_path):
+        data = block(3) * 4
+        handle, cache, _ = make_cached(tmp_path, data, readahead_blocks=0)
+        with handle:
+            assert handle.pread(len(data), 0) == data
+            handle.pwrite(b"XY", BS + 1)
+            got = handle.pread(len(data), 0)
+        assert got[BS + 1 : BS + 3] == b"XY"
+        assert got[:BS] == block(3)
+
+    def test_ftruncate_drops_every_block(self, tmp_path):
+        data = block(4) * 4
+        handle, cache, _ = make_cached(tmp_path, data, readahead_blocks=0)
+        with handle:
+            handle.pread(len(data), 0)
+            handle.ftruncate(BS)
+            assert handle.pread(len(data), 0) == block(4)
+
+    def test_sequential_reads_trigger_readahead(self, tmp_path):
+        data = block(5) * 32
+        handle, cache, _ = make_cached(
+            tmp_path, data, readahead_blocks=4, readahead_min_run=2
+        )
+        with handle:
+            for i in range(8):
+                assert handle.pread(BS, i * BS) == block(5)
+        snap = cache.snapshot()["readahead"]
+        assert snap["windows"] >= 1
+        assert snap["blocks_prefetched"] >= 4
+
+    def test_random_reads_do_not_trigger_readahead(self, tmp_path):
+        data = block(6) * 32
+        handle, cache, _ = make_cached(
+            tmp_path, data, readahead_blocks=4, readahead_min_run=2
+        )
+        with handle:
+            for i in (9, 2, 17, 5, 26, 11):
+                handle.pread(BS, i * BS)
+        assert cache.snapshot()["readahead"]["windows"] == 0
+
+    def test_on_mutate_callback_fires_on_writes(self, tmp_path):
+        data = block(7) * 4
+        policy = CachePolicy(mode="private", block_size=BS, capacity_bytes=64 * BS)
+        cache = CacheManager(policy, synchronous_readahead=True)
+        fs = LocalFilesystem(str(tmp_path))
+        fs.write_file("/m.bin", data)
+        inner = fs.open("/m.bin", OpenFlags(read=True, write=True))
+        calls = []
+        handle = CachedFileHandle(
+            inner, cache, "k", on_mutate=lambda: calls.append(1)
+        )
+        with handle:
+            handle.pwrite(b"z", 0)
+            handle.ftruncate(4)
+        assert len(calls) == 2
+
+    def test_manager_snapshot_shape(self, tmp_path):
+        handle, cache, _ = make_cached(tmp_path, block(8) * 4)
+        handle.close()
+        snap = cache.snapshot()
+        assert snap["mode"] == "private"
+        assert set(snap) == {"mode", "block", "meta", "readahead"}
+        assert set(snap["readahead"]) == {
+            "windows",
+            "blocks_prefetched",
+            "dropped",
+            "foreground_waits",
+        }
+
+
+# ----------------------------------------------------------------------
+# Client-level metadata caching (live server)
+# ----------------------------------------------------------------------
+
+
+@pytest.fixture()
+def caching_client(file_server, credentials):
+    cache = CacheManager(CachePolicy(mode="private", negative_ttl=30.0))
+    c = ChirpClient(
+        *file_server.address, credentials=credentials, timeout=10.0, cache=cache
+    )
+    yield c, cache
+    c.close()
+    cache.close()
+
+
+class TestClientMetaCaching:
+    def test_stat_served_from_cache(self, caching_client):
+        client, cache = caching_client
+        client.putfile("/f.txt", b"hello")
+        st1 = client.stat("/f.txt")
+        st2 = client.stat("/f.txt")
+        assert st1.size == st2.size == 5
+        assert cache.meta.snapshot()["hits"] >= 1
+
+    def test_negative_stat_cached_until_created(self, caching_client):
+        client, cache = caching_client
+        with pytest.raises(DoesNotExistError):
+            client.stat("/nope.txt")
+        with pytest.raises(DoesNotExistError) as excinfo:
+            client.stat("/nope.txt")
+        assert "cached" in str(excinfo.value)
+        # Creating the file invalidates the negative entry at once.
+        client.putfile("/nope.txt", b"x")
+        assert client.stat("/nope.txt").size == 1
+
+    def test_own_writes_invalidate_metadata(self, caching_client):
+        client, cache = caching_client
+        client.putfile("/grow.txt", b"ab")
+        assert client.stat("/grow.txt").size == 2
+        fd = client.open("/grow.txt", OpenFlags(write=True))
+        client.pwrite(fd, b"abcd", 0)
+        client.close_fd(fd)
+        assert client.stat("/grow.txt").size == 4
+
+    def test_getdir_cached_and_invalidated_by_membership(self, caching_client):
+        client, cache = caching_client
+        client.mkdir("/d")
+        client.putfile("/d/one", b"1")
+        assert client.getdir("/d") == ["one"]
+        assert client.getdir("/d") == ["one"]
+        assert cache.meta.snapshot()["hits"] >= 1
+        client.putfile("/d/two", b"2")
+        assert sorted(client.getdir("/d")) == ["one", "two"]
+        client.unlink("/d/one")
+        assert client.getdir("/d") == ["two"]
+
+    def test_rename_invalidates_both_names(self, caching_client):
+        client, cache = caching_client
+        client.putfile("/old.txt", b"abc")
+        assert client.stat("/old.txt").size == 3
+        with pytest.raises(DoesNotExistError):
+            client.stat("/new.txt")
+        client.rename("/old.txt", "/new.txt")
+        assert client.stat("/new.txt").size == 3
+        with pytest.raises(DoesNotExistError):
+            client.stat("/old.txt")
+
+    def test_uncached_client_unaffected(self, client):
+        # The default client has no cache; plain operation still works.
+        client.putfile("/plain.txt", b"xyz")
+        assert client.stat("/plain.txt").size == 3

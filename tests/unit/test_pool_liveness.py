@@ -1,0 +1,58 @@
+"""Regression tests for ClientPool.evict_dead.
+
+The pool's ``get`` contract is deliberately hands-off about dead
+sessions (handle recovery owns reconnection); ``evict_dead`` is the
+explicit complement for callers that want a pool with no dead sessions.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.util.errors import ChirpError, DisconnectedError
+
+
+class TestEvictDead:
+    def test_healthy_pool_evicts_nothing(self, pool, server_factory):
+        server = server_factory.new()
+        client = pool.get(*server.address)
+        client.putfile("/alive.txt", b"ok")
+        assert pool.evict_dead() == []
+        assert len(pool) == 1
+
+    def test_dead_session_is_evicted(self, pool, server_factory):
+        alive = server_factory.new()
+        dying = server_factory.new()
+        pool.get(*alive.address).putfile("/a.txt", b"a")
+        dead_client = pool.get(*dying.address)
+        dead_client.putfile("/b.txt", b"b")
+        assert len(pool) == 2
+
+        dying.stop()
+        # The session does not notice until an exchange fails -- that is
+        # exactly the documented hands-off behavior of get().
+        with pytest.raises(ChirpError):
+            dead_client.stat("/b.txt")
+        assert pool.get(*dying.address) is dead_client  # still handed out
+
+        evicted = pool.evict_dead()
+        assert evicted == [tuple(dying.address)]
+        assert len(pool) == 1
+        # The healthy session survived untouched.
+        assert pool.get(*alive.address).stat("/a.txt").size == 1
+
+    def test_get_after_eviction_starts_from_scratch(self, pool, server_factory):
+        server = server_factory.new()
+        old = pool.get(*server.address)
+        old.putfile("/x.txt", b"x")
+        server.stop()
+        with pytest.raises(ChirpError):
+            old.stat("/x.txt")
+        assert pool.evict_dead() == [tuple(server.address)]
+        assert len(pool) == 0
+        # The evicted session is gone for good: a fresh get() dials anew
+        # (and fails loudly while the server stays down) instead of
+        # resurrecting the dead client silently.
+        with pytest.raises((ChirpError, DisconnectedError, OSError)):
+            pool.get(*server.address)
+        assert len(pool) == 0
