@@ -25,6 +25,11 @@ from typing import Optional
 
 __all__ = ["BlockCache"]
 
+# Per-key epoch entries above this count collapse into the base value
+# (see ``epoch``); bounds the map in long-running clients that touch
+# many distinct files, without ever letting a key's epoch go backwards.
+_EPOCH_LIMIT = 4096
+
 
 class _Shard:
     __slots__ = ("lock", "entries", "bytes", "budget", "hits", "misses", "inserts", "evictions")
@@ -53,6 +58,12 @@ class BlockCache:
         per_shard = max(self.block_size, (self.capacity_bytes + shards - 1) // shards)
         self._shards = [_Shard(per_shard) for _ in range(shards)]
         self._epoch_lock = threading.Lock()
+        # Keys not in the map implicitly sit at ``_epoch_base``.  When the
+        # map outgrows _EPOCH_LIMIT it collapses: the base rises to the
+        # map's maximum and the map empties.  That only ever *advances* a
+        # key's observed epoch, so a stale fetch is still refused (at
+        # worst a fresh fetch is refused too -- a harmless re-fetch).
+        self._epoch_base = 0
         self._epochs: dict[str, int] = {}
         self._stat_lock = threading.Lock()
         self._stale_puts = 0
@@ -63,11 +74,14 @@ class BlockCache:
     def epoch(self, key: str) -> int:
         """Sample the invalidation epoch for ``key`` (before fetching)."""
         with self._epoch_lock:
-            return self._epochs.get(key, 0)
+            return self._epochs.get(key, self._epoch_base)
 
     def _bump_epoch(self, key: str) -> None:
         with self._epoch_lock:
-            self._epochs[key] = self._epochs.get(key, 0) + 1
+            self._epochs[key] = self._epochs.get(key, self._epoch_base) + 1
+            if len(self._epochs) > _EPOCH_LIMIT:
+                self._epoch_base = max(self._epochs.values())
+                self._epochs.clear()
 
     # -- data path -------------------------------------------------------
 
@@ -167,7 +181,47 @@ class BlockCache:
                 self._invalidated += dropped
         return dropped
 
+    def invalidate_prefix(self, prefix: str) -> int:
+        """Drop every block of ``prefix`` itself and of keys under
+        ``prefix + "/"`` (directory rename: descendants moved with it).
+
+        Epochs for the affected keys are bumped *before* the sweep so an
+        in-flight fetch sampled pre-rename fails :meth:`put`'s re-check
+        rather than re-installing a swept block.
+        """
+        child = prefix + "/"
+        keys = {prefix}
+        for shard in self._shards:
+            with shard.lock:
+                keys.update(
+                    k[0]
+                    for k in shard.entries
+                    if k[0] == prefix or k[0].startswith(child)
+                )
+        for key in keys:
+            self._bump_epoch(key)
+        dropped = 0
+        for shard in self._shards:
+            with shard.lock:
+                victims = [
+                    k
+                    for k in shard.entries
+                    if k[0] == prefix or k[0].startswith(child)
+                ]
+                for k in victims:
+                    shard.bytes -= len(shard.entries.pop(k))
+                dropped += len(victims)
+        if dropped:
+            with self._stat_lock:
+                self._invalidated += dropped
+        return dropped
+
     def clear(self) -> None:
+        # Everything is gone, so any in-flight fetch's sampled epoch must
+        # read as stale: raise the base past every recorded epoch.
+        with self._epoch_lock:
+            self._epoch_base = max(self._epochs.values(), default=self._epoch_base) + 1
+            self._epochs.clear()
         for shard in self._shards:
             with shard.lock:
                 shard.entries.clear()

@@ -82,6 +82,14 @@ class CacheManager:
     def invalidate_meta(self, key: str) -> None:
         self.meta.invalidate(key)
 
+    def invalidate_subtree(self, key: str) -> None:
+        """A rename moved ``key``, which may be a directory: entries for
+        descendants are keyed under the old prefix and would otherwise
+        survive to poison a later reuse of the path.  Sweeps blocks and
+        metadata for ``key`` and everything under ``key + "/"``."""
+        self.blocks.invalidate_prefix(key)
+        self.meta.invalidate_prefix(key)
+
     def invalidate_dirent(self, dir_key: str) -> None:
         """A directory changed membership: drop its listing *and* stat
         (its mtime/nlink moved too)."""

@@ -310,12 +310,20 @@ class ChirpClient:
             raise DoesNotExistError(f"{path}: no such file or directory (cached)")
         if hit is not MetaCache.MISS:
             return hit
+        # Sample the generation before the RPC: if a same-client mutation
+        # invalidates this key mid-fetch, the put below is refused rather
+        # than installing the pre-mutation result.
+        generation = cache.meta.generation(key)
         try:
             value = fetch()
         except DoesNotExistError:
-            cache.meta.put_negative(kind, key, cache.policy.negative_expiry())
+            cache.meta.put_negative(
+                kind, key, cache.policy.negative_expiry(), generation=generation
+            )
             raise
-        cache.meta.put(kind, key, value, cache.policy.meta_expiry())
+        cache.meta.put(
+            kind, key, value, cache.policy.meta_expiry(), generation=generation
+        )
         return value
 
     def stat(self, path: str, deadline: Optional[Deadline] = None) -> ChirpStat:
@@ -345,8 +353,14 @@ class ChirpClient:
 
     def rename(self, old: str, new: str) -> None:
         self._stateless(lambda c: c.rename(old, new))
-        self._cache_entry_changed(old, data=True)
-        self._cache_entry_changed(new, data=True)
+        if self.cache is not None:
+            # ``old`` may be a directory, in which case every descendant's
+            # cached entry is keyed under the old prefix and would poison
+            # a later reuse of that path; sweep both subtrees.
+            self.cache.invalidate_subtree(self._ckey(old))
+            self.cache.invalidate_subtree(self._ckey(new))
+            self.cache.invalidate_dirent(self._parent_ckey(old))
+            self.cache.invalidate_dirent(self._parent_ckey(new))
 
     def mkdir(self, path: str, mode: int = 0o755) -> None:
         self._stateless(lambda c: c.mkdir(path, mode))

@@ -220,8 +220,11 @@ class CFS(Filesystem):
     def rename(self, old: str, new: str) -> None:
         src, dst = self._path(old), self._path(new)
         self._run(lambda: self.client.rename(src, dst))
-        self._entry_changed(src)
-        self._entry_changed(dst)
+        if self.cache is not None:
+            # Directory renames strand descendant entries under the old
+            # prefix; sweep both subtrees (idempotent with the client's).
+            self.cache.invalidate_subtree(self._key(src))
+            self.cache.invalidate_subtree(self._key(dst))
 
     def mkdir(self, path: str, mode: int = 0o755) -> None:
         target = self._path(path)

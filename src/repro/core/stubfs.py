@@ -228,6 +228,7 @@ class StubFilesystem(Filesystem):
         path = self._guard_name(path)
         cache = self.cache
         key = None
+        generation = 0
         if cache is not None and cache.meta_enabled:
             key = self._merged_key(path)
             cached = cache.meta.get("stat", key)
@@ -235,14 +236,21 @@ class StubFilesystem(Filesystem):
                 raise DoesNotExistError(f"{path}: no such file or directory (cached)")
             if cached is not MetaCache.MISS:
                 return cached
+            # Sampled before the RPCs so a concurrent same-client
+            # mutation's invalidation refuses this (now stale) result.
+            generation = cache.meta.generation(key)
         try:
             merged = self._stat_uncached(path)
         except DoesNotExistError:
             if key is not None:
-                cache.meta.put_negative("stat", key, cache.policy.negative_expiry())
+                cache.meta.put_negative(
+                    "stat", key, cache.policy.negative_expiry(), generation=generation
+                )
             raise
         if key is not None:
-            cache.meta.put("stat", key, merged, cache.policy.meta_expiry())
+            cache.meta.put(
+                "stat", key, merged, cache.policy.meta_expiry(), generation=generation
+            )
         return merged
 
     def _stat_uncached(self, path: str) -> ChirpStat:
@@ -309,14 +317,23 @@ class StubFilesystem(Filesystem):
         # Name-only: the stub moves, the data file never does.
         old, new = self._guard_name(old), self._guard_name(new)
         self.meta.rename(old, new)
-        self._entry_changed(old)
-        self._entry_changed(new)
+        if self.cache is not None:
+            # ``old`` may be a directory: descendants' merged stats are
+            # keyed under the old prefix and must go too.  Data blocks
+            # live under data-server keys, which a rename never moves.
+            self.cache.invalidate_subtree(self._merged_key(old))
+            self.cache.invalidate_subtree(self._merged_key(new))
 
     def mkdir(self, path: str, mode: int = 0o755) -> None:
-        self.meta.mkdir(self._guard_name(path), mode)
+        path = self._guard_name(path)
+        self.meta.mkdir(path, mode)
+        # The path may have been cached as absent before creation.
+        self._entry_changed(path)
 
     def rmdir(self, path: str) -> None:
-        self.meta.rmdir(self._guard_name(path))
+        path = self._guard_name(path)
+        self.meta.rmdir(path)
+        self._entry_changed(path)
 
     def truncate(self, path: str, size: int) -> None:
         path = self._guard_name(path)

@@ -113,6 +113,38 @@ class TestBlockCache:
         bc.invalidate_file("f")
         assert bc.put("f", 0, block(3))
 
+    def test_invalidate_prefix_sweeps_descendants_only(self):
+        bc = BlockCache(capacity_bytes=16 * BS, block_size=BS)
+        bc.put("h:1:/a", 0, block(1))
+        bc.put("h:1:/a/x", 0, block(2))
+        bc.put("h:1:/ab", 0, block(3))  # sibling sharing the prefix string
+        stale = bc.epoch("h:1:/a/x")
+        assert bc.invalidate_prefix("h:1:/a") == 2
+        assert bc.get("h:1:/a", 0) is None
+        assert bc.get("h:1:/a/x", 0) is None
+        assert bc.get("h:1:/ab", 0) == block(3)
+        # Descendant epochs were bumped: an in-flight fetch is refused.
+        assert not bc.put("h:1:/a/x", 0, block(2), epoch=stale)
+
+    def test_epoch_map_is_bounded_and_stays_monotonic(self):
+        from repro.cache.block import _EPOCH_LIMIT
+
+        bc = BlockCache(capacity_bytes=16 * BS, block_size=BS)
+        stale = bc.epoch("survivor")
+        bc.invalidate_file("survivor")
+        for i in range(_EPOCH_LIMIT + 10):
+            bc.invalidate_file(f"k{i}")
+        assert len(bc._epochs) <= _EPOCH_LIMIT
+        # Pruning collapses entries into the base but never rolls a key's
+        # epoch backwards: the pre-invalidation sample is still refused.
+        assert not bc.put("survivor", 0, block(1), epoch=stale)
+
+    def test_clear_refuses_in_flight_puts(self):
+        bc = BlockCache(capacity_bytes=16 * BS, block_size=BS)
+        stale = bc.epoch("f")
+        bc.clear()
+        assert not bc.put("f", 0, block(1), epoch=stale)
+
 
 # ----------------------------------------------------------------------
 # MetaCache
@@ -166,6 +198,50 @@ class TestMetaCache:
         assert mc.get("stat", "b") is MetaCache.MISS
         assert mc.get("stat", "a") == 1
         assert len(mc) == 2
+
+    def test_generation_refuses_stale_install(self):
+        mc = MetaCache(clock=ManualClock())
+        gen = mc.generation("k")
+        # A same-client mutation invalidated the key mid-fetch.
+        mc.invalidate("k")
+        mc.put("stat", "k", "pre-mutation", ttl=None, generation=gen)
+        assert mc.get("stat", "k") is MetaCache.MISS
+        mc.put_negative("stat", "k", ttl=None, generation=gen)
+        assert mc.get("stat", "k") is MetaCache.MISS
+        assert mc.snapshot()["stale_puts"] == 2
+
+    def test_generation_allows_unraced_install(self):
+        mc = MetaCache(clock=ManualClock())
+        gen = mc.generation("k")
+        mc.put("stat", "k", "fresh", ttl=None, generation=gen)
+        assert mc.get("stat", "k") == "fresh"
+
+    def test_invalidate_prefix_sweeps_descendants_only(self):
+        mc = MetaCache(clock=ManualClock())
+        mc.put("stat", "h:1:/a", 1, ttl=None)
+        mc.put("dirent", "h:1:/a", ("x",), ttl=None)
+        mc.put("stat", "h:1:/a/x", 2, ttl=None)
+        mc.put("stat", "h:1:/ab", 3, ttl=None)
+        stale = mc.generation("h:1:/a/x")
+        assert mc.invalidate_prefix("h:1:/a") == 3
+        assert mc.get("stat", "h:1:/a") is MetaCache.MISS
+        assert mc.get("stat", "h:1:/a/x") is MetaCache.MISS
+        assert mc.get("stat", "h:1:/ab") == 3
+        # Descendant generations were bumped too.
+        mc.put("stat", "h:1:/a/x", "stale", ttl=None, generation=stale)
+        assert mc.get("stat", "h:1:/a/x") is MetaCache.MISS
+
+    def test_generation_map_is_bounded_and_stays_monotonic(self):
+        from repro.cache.meta import _GEN_LIMIT
+
+        mc = MetaCache(clock=ManualClock())
+        stale = mc.generation("survivor")
+        mc.invalidate("survivor")
+        for i in range(_GEN_LIMIT + 10):
+            mc.invalidate(f"k{i}")
+        assert len(mc._gens) <= _GEN_LIMIT
+        mc.put("stat", "survivor", "stale", ttl=None, generation=stale)
+        assert mc.get("stat", "survivor") is MetaCache.MISS
 
 
 # ----------------------------------------------------------------------
@@ -403,7 +479,80 @@ class TestClientMetaCaching:
         with pytest.raises(DoesNotExistError):
             client.stat("/old.txt")
 
+    def test_directory_rename_sweeps_descendant_entries(self, caching_client):
+        # rename A->B then C->A: entries cached under /A must not survive
+        # to describe the *old* children once the path is reused.
+        client, cache = caching_client
+        client.mkdir("/src")
+        client.putfile("/src/f", b"old")
+        assert client.stat("/src/f").size == 3
+        assert client.getdir("/src") == ["f"]
+        client.mkdir("/other")
+        client.putfile("/other/f", b"fresh-longer")
+        client.putfile("/other/g", b"x")
+        client.rename("/src", "/gone")
+        client.rename("/other", "/src")
+        assert client.stat("/src/f").size == 12
+        assert sorted(client.getdir("/src")) == ["f", "g"]
+
+    def test_mkdir_rmdir_invalidate_metadata(self, caching_client):
+        client, cache = caching_client
+        with pytest.raises(DoesNotExistError):
+            client.stat("/d")  # caches the absence
+        client.mkdir("/d")
+        assert client.stat("/d").mode  # negative entry was dropped
+        client.rmdir("/d")
+        with pytest.raises(DoesNotExistError):
+            client.stat("/d")
+
     def test_uncached_client_unaffected(self, client):
         # The default client has no cache; plain operation still works.
         client.putfile("/plain.txt", b"xyz")
         assert client.stat("/plain.txt").size == 3
+
+
+# ----------------------------------------------------------------------
+# Stub-filesystem merged-stat coherence (DPFS over a live server)
+# ----------------------------------------------------------------------
+
+
+@pytest.fixture()
+def caching_dpfs(file_server, pool, tmp_path):
+    from repro.core.dpfs import DPFS
+
+    cache = CacheManager(CachePolicy(mode="private", negative_ttl=300.0))
+    fs = DPFS.create(
+        str(tmp_path / "meta"), pool, [file_server.address], name="vol", cache=cache
+    )
+    yield fs
+    cache.close()
+
+
+class TestStubfsMetaCoherence:
+    def test_rmdir_invalidates_cached_dir_stat(self, caching_dpfs):
+        fs = caching_dpfs
+        fs.mkdir("/d")
+        assert fs.stat("/d").is_dir  # now cached under the merged key
+        fs.rmdir("/d")
+        with pytest.raises(DoesNotExistError):
+            fs.stat("/d")
+
+    def test_mkdir_invalidates_negative_stat(self, caching_dpfs):
+        fs = caching_dpfs
+        with pytest.raises(DoesNotExistError):
+            fs.stat("/later")  # caches the absence
+        fs.mkdir("/later")
+        assert fs.stat("/later").is_dir
+
+    def test_directory_rename_sweeps_descendant_stats(self, caching_dpfs):
+        fs = caching_dpfs
+        fs.mkdir("/a")
+        fs.write_file("/a/f", b"old")
+        assert fs.stat("/a/f").size == 3  # cached under /a/f's merged key
+        fs.mkdir("/c")
+        fs.write_file("/c/f", b"fresh-longer")
+        assert fs.stat("/c/f").size == 12
+        fs.rename("/a", "/b")
+        fs.rename("/c", "/a")
+        assert fs.stat("/a/f").size == 12
+        assert fs.stat("/b/f").size == 3
