@@ -395,6 +395,20 @@ class ChirpClient:
     def checksum(self, path: str, deadline: Optional[Deadline] = None) -> str:
         return self._stateless(lambda c: c.checksum(path, deadline=deadline))
 
+    # -- content-addressed operations (CAS servers only) -----------------
+
+    def lookup(self, key: str) -> bool:
+        return self._stateless(lambda c: c.lookup(key))
+
+    def putkey(self, path: str, key: str, mode: int = 0o644) -> int:
+        """Copy-by-reference: bind ``path`` to an existing blob by key."""
+        n = self._stateless(lambda c: c.putkey(path, key, mode))
+        self._cache_entry_changed(path, data=True)
+        return n
+
+    def keyof(self, path: str) -> str:
+        return self._stateless(lambda c: c.keyof(path))
+
     # -- streaming whole files -------------------------------------------
 
     def getfile(self, path: str, sink: Optional[BinaryIO] = None) -> bytes | int:

@@ -52,6 +52,14 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--report-interval", type=float, default=60.0)
     parser.add_argument("--quota-bytes", type=int, default=None)
     parser.add_argument(
+        "--store",
+        choices=("local", "memory", "cas"),
+        default="local",
+        help="storage resource behind the server: 'local' exports the "
+        "root directory as-is, 'memory' keeps everything in RAM, 'cas' "
+        "stores deduplicated content-addressed blobs under the root",
+    )
+    parser.add_argument(
         "--sync-meta",
         action=argparse.BooleanOptionalAction,
         default=True,
@@ -91,6 +99,7 @@ def main(argv: list[str] | None = None) -> int:
         quota_bytes=args.quota_bytes,
         sync_meta=args.sync_meta,
         idle_timeout=args.idle_timeout,
+        store=args.store,
     )
     server = FileServer(config)
     server.start()

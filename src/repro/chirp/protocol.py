@@ -20,7 +20,7 @@ from repro.util.errors import InvalidRequestError
 
 __all__ = ["VERBS", "OpenFlags", "ChirpStat", "StatFs", "PROTOCOL_VERSION"]
 
-PROTOCOL_VERSION = 2
+PROTOCOL_VERSION = 3  # v3 adds the content-addressed verbs: lookup, putkey, keyof
 
 #: Every request verb the server understands.
 VERBS = frozenset(
@@ -49,6 +49,9 @@ VERBS = frozenset(
         "truncate",
         "utime",
         "checksum",
+        "lookup",
+        "putkey",
+        "keyof",
     }
 )
 

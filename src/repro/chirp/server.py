@@ -6,8 +6,10 @@ Deployable by an ordinary user with one call::
     server.start()
 
 One thread accepts connections; one thread per connection authenticates
-the client and then serves Unix-like RPCs against the
-:class:`~repro.chirp.backend.LocalBackend`.  A reporter thread announces
+the client and then serves Unix-like RPCs against a
+:class:`~repro.chirp.backend.Backend` layered over the configured
+:class:`~repro.store.BlobStore` (``--store local|memory|cas``).  A
+reporter thread announces
 the server to its catalogs over UDP.  Failure semantics follow the paper:
 when a connection drops, every resource associated with it -- in
 particular all open file descriptors -- is freed immediately.
@@ -17,16 +19,15 @@ from __future__ import annotations
 
 import json
 import logging
-import os
 import socket
 import threading
 import time
 from dataclasses import dataclass, field
 
-from repro.auth.acl import load_acl
 from repro.auth.methods import AuthContext, AuthFailed, authenticate_server
-from repro.chirp.backend import LocalBackend
+from repro.chirp.backend import Backend
 from repro.chirp.protocol import OpenFlags, PROTOCOL_VERSION, VERBS
+from repro.store import BlobHandle, HandleReader, HandleWriter, make_store
 from repro.util.errors import (
     BadFileDescriptorError,
     ChirpError,
@@ -71,6 +72,14 @@ class ServerConfig:
     #: the reaper).  Protects worker threads from slow-loris clients that
     #: hold a session open without ever completing a request.
     idle_timeout: float | None = None
+    #: Which storage resource serves the abstraction: "local" (the
+    #: classic confined directory, byte-identical semantics), "memory"
+    #: (RAM; tests and simulations), or "cas" (content-addressed blobs
+    #: with dedup and copy-by-reference).
+    store: str = "local"
+    #: Optional metrics registry; when set, per-store counters are
+    #: published under the "store" section.
+    metrics: object | None = None
 
 
 class _Connection:
@@ -80,37 +89,40 @@ class _Connection:
         self.stream = stream
         self.subject = subject
         self.max_open = max_open
-        self.fds: dict[int, int] = {}  # client fd -> OS fd
+        self.fds: dict[int, BlobHandle] = {}  # client fd -> store handle
         self.next_fd = 3
 
-    def install_fd(self, os_fd: int) -> int:
+    def install_fd(self, handle: BlobHandle) -> int:
         if len(self.fds) >= self.max_open:
-            os.close(os_fd)
+            try:
+                handle.close()
+            except ChirpError:
+                pass
             from repro.util.errors import TooManyOpenError
 
             raise TooManyOpenError("per-connection open file limit")
         cfd = self.next_fd
         self.next_fd += 1
-        self.fds[cfd] = os_fd
+        self.fds[cfd] = handle
         return cfd
 
-    def lookup_fd(self, cfd: int) -> int:
+    def lookup_fd(self, cfd: int) -> BlobHandle:
         try:
             return self.fds[cfd]
         except KeyError:
             raise BadFileDescriptorError(f"fd {cfd}") from None
 
-    def drop_fd(self, cfd: int) -> int:
+    def drop_fd(self, cfd: int) -> BlobHandle:
         try:
             return self.fds.pop(cfd)
         except KeyError:
             raise BadFileDescriptorError(f"fd {cfd}") from None
 
     def close_all(self) -> None:
-        for os_fd in self.fds.values():
+        for handle in self.fds.values():
             try:
-                os.close(os_fd)
-            except OSError:
+                handle.close()
+            except Exception:
                 pass
         self.fds.clear()
 
@@ -120,12 +132,16 @@ class FileServer:
 
     def __init__(self, config: ServerConfig):
         self.config = config
-        self.backend = LocalBackend(
-            config.root,
+        self.store = make_store(
+            config.store, config.root, sync_meta=config.sync_meta
+        )
+        self.backend = Backend(
+            self.store,
             config.owner,
             quota_bytes=config.quota_bytes,
-            sync_meta=config.sync_meta,
         )
+        if config.metrics is not None:
+            config.metrics.attach_section("store", self.store)
         self._listener: socket.socket | None = None
         self._threads: list[threading.Thread] = []
         self._conn_socks: set[socket.socket] = set()
@@ -322,13 +338,13 @@ class FileServer:
     def _op_open(self, conn: _Connection, args: list[str]) -> None:
         path, flags_text, mode_text = args
         flags = OpenFlags.decode(flags_text)
-        os_fd = self.backend.open(conn.subject, path, flags, int(mode_text))
-        cfd = conn.install_fd(os_fd)
+        handle = self.backend.open(conn.subject, path, flags, int(mode_text))
+        cfd = conn.install_fd(handle)
         conn.stream.write_line(cfd)
 
     def _op_close(self, conn: _Connection, args: list[str]) -> None:
-        os_fd = conn.drop_fd(int(args[0]))
-        self.backend.close(os_fd)
+        handle = conn.drop_fd(int(args[0]))
+        self.backend.close(handle)
         conn.stream.write_line(0)
 
     def _op_pread(self, conn: _Connection, args: list[str]) -> None:
@@ -342,11 +358,11 @@ class FileServer:
         cfd, length, offset = int(args[0]), int(args[1]), int(args[2])
         data = conn.stream.read_exact(length)
         try:
-            os_fd = conn.lookup_fd(cfd)
+            handle = conn.lookup_fd(cfd)
         except BadFileDescriptorError:
             conn.stream.write_line(int(StatusCode.BAD_FD), f"fd {cfd}")
             return
-        n = self.backend.pwrite(os_fd, data, offset)
+        n = self.backend.pwrite(handle, data, offset)
         conn.stream.write_line(n)
 
     def _op_fsync(self, conn: _Connection, args: list[str]) -> None:
@@ -397,14 +413,16 @@ class FileServer:
     def _op_getfile(self, conn: _Connection, args: list[str]) -> None:
         path = args[0]
         flags = OpenFlags(read=True)
-        os_fd = self.backend.open(conn.subject, path, flags, 0)
+        handle = self.backend.open(conn.subject, path, flags, 0)
         try:
-            size = os.fstat(os_fd).st_size
+            size = handle.fstat().size
             conn.stream.write_line(size)
-            with os.fdopen(os.dup(os_fd), "rb") as f:
-                conn.stream.write_from_file(f, size)
+            conn.stream.write_from_file(HandleReader(handle), size)
         finally:
-            os.close(os_fd)
+            try:
+                handle.close()
+            except ChirpError:
+                pass
 
     def _op_putfile(self, conn: _Connection, args: list[str]) -> None:
         path, mode_text, length_text = args
@@ -413,7 +431,7 @@ class FileServer:
             raise InvalidRequestError("negative putfile length")
         flags = OpenFlags(write=True, create=True, truncate=True)
         try:
-            os_fd = self.backend.open(conn.subject, path, flags, int(mode_text))
+            handle = self.backend.open(conn.subject, path, flags, int(mode_text))
         except ChirpError as exc:
             self._drain(conn.stream, length)
             conn.stream.write_line(int(exc.status), str(exc))
@@ -421,16 +439,38 @@ class FileServer:
         try:
             self.backend._charge_quota(length)
         except ChirpError as exc:
-            os.close(os_fd)
+            try:
+                handle.close()
+            except ChirpError:
+                pass
             self._drain(conn.stream, length)
             conn.stream.write_line(int(exc.status), str(exc))
             return
         try:
-            with os.fdopen(os.dup(os_fd), "wb") as f:
-                conn.stream.read_into_file(f, length)
+            conn.stream.read_into_file(HandleWriter(handle), length)
         finally:
-            os.close(os_fd)
+            try:
+                handle.close()
+            except ChirpError:
+                pass
         conn.stream.write_line(length)
+
+    # -- content-addressed verbs (CAS stores; others answer
+    # INVALID_REQUEST, indistinguishable from an unknown verb, so
+    # clients probe and fall back uniformly) --------------------------
+
+    def _op_lookup(self, conn: _Connection, args: list[str]) -> None:
+        present = self.backend.lookup(conn.subject, args[0])
+        conn.stream.write_line(0, 1 if present else 0)
+
+    def _op_putkey(self, conn: _Connection, args: list[str]) -> None:
+        path, mode_text, key = args
+        size = self.backend.putkey(conn.subject, path, int(mode_text), key)
+        conn.stream.write_line(size)
+
+    def _op_keyof(self, conn: _Connection, args: list[str]) -> None:
+        key = self.backend.keyof(conn.subject, args[0])
+        conn.stream.write_line(0, key)
 
     @staticmethod
     def _drain(stream: LineStream, length: int) -> None:
@@ -475,7 +515,6 @@ class FileServer:
     def build_report(self) -> dict:
         """The JSON document periodically sent to catalogs."""
         fs = self.backend.statfs()
-        root_acl = load_acl(self.backend.root)
         return {
             "type": "chirp",
             "name": self.name,
@@ -483,9 +522,10 @@ class FileServer:
             "host": self.address[0],
             "port": self.address[1],
             "version": PROTOCOL_VERSION,
+            "store": self.store.kind,
             "total_bytes": fs.total_bytes,
             "free_bytes": fs.free_bytes,
-            "root_acl": root_acl.to_text() if root_acl else "",
+            "root_acl": self.backend.root_acl_text(),
             "uptime": time.time() - self._started_at,
             "report_time": time.time(),
         }

@@ -143,6 +143,25 @@ def _cmd_fsck(adapter: Adapter, args) -> int:
     return 0 if (report.clean or args.repair) else 1
 
 
+def _cmd_store_scrub(adapter: Adapter, args) -> int:
+    from repro.store.cas import CasStore
+    from repro.transport.metrics import default_registry
+
+    store = CasStore(args.root)
+    default_registry().attach_section("store", store)
+    report = store.scrub(quarantine=args.quarantine)
+    print(f"objects   {report['objects']}")
+    print(f"ok        {report['ok']}")
+    for key in report["corrupt"]:
+        print(f"corrupt   {key}")
+    for key in report["quarantined"]:
+        print(f"quarantined {key}")
+    for key in report["orphans"]:
+        print(f"orphan    {key}")
+    print("clean" if not report["corrupt"] else "NOT CLEAN")
+    return 0 if not report["corrupt"] else 1
+
+
 def _cmd_keeper(adapter: Adapter, args) -> int:
     from repro.catalog.client import CatalogClient
     from repro.core.dsdb import DSDB
@@ -190,6 +209,7 @@ def _cmd_keeper(adapter: Adapter, args) -> int:
                 repair_bytes_per_sec=args.repair_bytes_per_sec,
                 catalog_lifetime=args.catalog_lifetime,
                 tick_interval=args.tick_interval,
+                audit_mode=args.audit_mode,
             ),
             catalog=catalog,
         )
@@ -322,7 +342,22 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--catalog-lifetime", type=float, default=900.0,
                    help="seconds absent from the catalog before a server is suspect")
     p.add_argument("--tick-interval", type=float, default=1.0)
+    p.add_argument("--audit-mode", choices=("bytes", "key", "location"),
+                   default=None,
+                   help="replica audit strategy: 'key' compares content-"
+                   "address keys in O(1) on CAS servers (falls back to "
+                   "bytes elsewhere)")
     p.set_defaults(fn=_cmd_keeper)
+
+    p = sub.add_parser("store", help="inspect or repair a server's store")
+    store_sub = p.add_subparsers(dest="store_op", required=True)
+    ps = store_sub.add_parser(
+        "scrub", help="verify every CAS blob hashes to its key"
+    )
+    ps.add_argument("root", help="store root directory (a --store cas server root)")
+    ps.add_argument("--quarantine", action="store_true",
+                    help="move corrupt blobs aside instead of just reporting")
+    ps.set_defaults(fn=_cmd_store_scrub)
 
     p = sub.add_parser("fsck", help="audit (and repair) a DSFS volume")
     p.add_argument("volume", metavar="/dsfs/HOST:PORT@VOLUME")

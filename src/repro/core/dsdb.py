@@ -38,6 +38,7 @@ from repro.util.errors import (
     ChirpError,
     DisconnectedError,
     DoesNotExistError,
+    InvalidRequestError,
     TryAgainError,
 )
 
@@ -354,10 +355,12 @@ class DSDB:
             raise DoesNotExistError(
                 f"{record.get('name', record.get('id'))}: no live source replica"
             )
-        with tempfile.TemporaryFile() as spool:
-            self.fetch(record, sink=spool)
-            spool.seek(0)
-            new_rep = self._store_bytes(tuple(endpoint), spool, path)
+        new_rep = self._link_by_key(record, tuple(endpoint), path)
+        if new_rep is None:
+            with tempfile.TemporaryFile() as spool:
+                self.fetch(record, sink=spool)
+                spool.seek(0)
+                new_rep = self._store_bytes(tuple(endpoint), spool, path)
         if verify:
             client = self.pool.get(new_rep["host"], new_rep["port"])
             digest = client.checksum(new_rep["path"])
@@ -370,6 +373,35 @@ class DSDB:
                     f"{new_rep['path']}: verify-after-write checksum mismatch"
                 )
         return new_rep
+
+    def _link_by_key(
+        self,
+        record: dict,
+        endpoint: tuple[str, int],
+        path: Optional[str] = None,
+    ) -> Optional[Replica]:
+        """Copy-by-reference: when the target is content-addressed and
+        already holds this record's blob, bind the path to the checksum
+        key instead of streaming bytes.  Returns None when the fast path
+        does not apply (non-CAS target, key absent, any error) so the
+        caller falls back to the byte transfer.
+        """
+        key = record.get("checksum")
+        if not key:
+            return None
+        client = self.pool.try_get(*endpoint)
+        if client is None:
+            return None
+        try:
+            self._ensure_dir(endpoint)
+            if path is None:
+                path = self.data_dir + "/" + unique_data_name()
+            client.putkey(path, key)
+        except (InvalidRequestError, DoesNotExistError):
+            return None  # old/non-CAS server or blob not present
+        except ChirpError:
+            return None
+        return {"host": endpoint[0], "port": endpoint[1], "path": path, "state": "ok"}
 
     def attach_replica(
         self, record_or_id: Union[dict, str], replica: Replica

@@ -541,7 +541,15 @@ class ReplicatedFS(Filesystem):
             return 0
         source_host, source_port, source_path = good[0]
         source = self.pool.get(source_host, source_port)
-        data = source.getfile(source_path)
+        # Copy-by-reference setup: learn the source's content key once.
+        # Targets that already hold the blob (CAS servers) then heal via
+        # a metadata link; bytes are fetched lazily, only when a target
+        # actually needs them.
+        try:
+            source_key = source.keyof(source_path)
+        except ChirpError:
+            source_key = None
+        data = None
         occupied = {(h, p) for h, p, _ in good}
         new_locations = list(good)
         added = 0
@@ -556,7 +564,17 @@ class ReplicatedFS(Filesystem):
             data_path = self.data_dir + "/" + unique_data_name()
             try:
                 client = self.pool.get(*endpoint)
-                client.putfile(data_path, data)
+                linked = False
+                if source_key is not None:
+                    try:
+                        client.putkey(data_path, source_key)
+                        linked = True
+                    except ChirpError:
+                        linked = False
+                if not linked:
+                    if data is None:
+                        data = source.getfile(source_path)
+                    client.putfile(data_path, data)
             except ChirpError:
                 continue
             new_locations.append((endpoint[0], endpoint[1], data_path))

@@ -253,18 +253,30 @@ class VersionedFS(Filesystem):
             raise DoesNotExistError(path)
 
         endpoint, data_path = self._new_data_location()
-        dflags = replace(flags, create=True, exclusive=True)
-        handle = self._data_handle(endpoint, data_path, dflags, mode)
 
-        # copy-on-write: seed with the current contents unless truncating
+        # copy-on-write: seed with the current contents unless truncating.
+        # On content-addressed servers the seed is a key link -- the new
+        # version *shares* the old blob until it diverges, so snapshots
+        # of unchanged files cost metadata, not storage.
+        seeded = False
         if exists and not flags.truncate:
-            source = stub.latest
-            client = self.pool.get(*source.endpoint)
-            data = client.getfile(source.path)
-            offset = 0
-            view = memoryview(data)
-            while offset < len(data):
-                offset += handle.pwrite(bytes(view[offset : offset + (1 << 20)]), offset)
+            seeded = self._seed_by_key(stub.latest, endpoint, data_path, mode)
+        if seeded:
+            # The data file already exists with the seeded content; open
+            # it without create/truncate so writes edit in place.
+            dflags = replace(flags, create=False, exclusive=False, truncate=False)
+            handle = self._data_handle(endpoint, data_path, dflags, mode)
+        else:
+            dflags = replace(flags, create=True, exclusive=True)
+            handle = self._data_handle(endpoint, data_path, dflags, mode)
+            if exists and not flags.truncate:
+                source = stub.latest
+                client = self.pool.get(*source.endpoint)
+                data = client.getfile(source.path)
+                offset = 0
+                view = memoryview(data)
+                while offset < len(data):
+                    offset += handle.pwrite(bytes(view[offset : offset + (1 << 20)]), offset)
 
         def commit():
             current: Optional[VersionStub] = None
@@ -293,6 +305,22 @@ class VersionedFS(Filesystem):
                 self._swing_stub(path, VersionStub(history))
 
         return _CommitOnClose(handle, commit)
+
+    def _seed_by_key(self, source: Version, endpoint, data_path: str, mode: int) -> bool:
+        """Seed a new data file by content key instead of byte transfer.
+
+        Works when both the source's server and the chosen target speak
+        the CAS verbs and the target already holds the blob -- always
+        true when they are the same server, which is the common snapshot
+        case.  Any refusal (non-CAS server, key absent) returns False
+        and the caller streams bytes instead.
+        """
+        try:
+            key = self.pool.get(*source.endpoint).keyof(source.path)
+            self.pool.get(*endpoint).putkey(data_path, key, mode)
+        except ChirpError:
+            return False
+        return True
 
     # -- version perusal -------------------------------------------------
 

@@ -38,11 +38,34 @@ class Auditor:
     left entirely to the replicator -- the paper's two-process split.
     A replica that reappears intact (e.g. a server came back from a
     network partition) is marked ``ok`` again.
+
+    Three audit modes, cheapest last:
+
+    - ``bytes``: the server re-reads the replica and checksums it (the
+      classic audit; catches bitrot but costs a full file read);
+    - ``key``: ask a content-addressed server for the key its namespace
+      binds the path to and compare it to the record's checksum --
+      O(1) metadata on both ends, no payload read.  Non-CAS servers
+      refuse the ``keyof`` verb, and the auditor falls back to ``bytes``
+      for that replica.  On-disk blob bitrot is out of scope here (the
+      binding, not the bytes, is audited); ``tss store scrub`` owns
+      that;
+    - ``location``: stat only -- catches deletion, not corruption.
     """
 
-    def __init__(self, dsdb: DSDB, verify_checksums: bool = True):
+    def __init__(
+        self,
+        dsdb: DSDB,
+        verify_checksums: bool = True,
+        mode: str | None = None,
+    ):
+        if mode is None:
+            mode = "bytes" if verify_checksums else "location"
+        if mode not in ("bytes", "key", "location"):
+            raise ValueError(f"unknown audit mode {mode!r}")
+        self.mode = mode
         self.dsdb = dsdb
-        self.verify_checksums = verify_checksums
+        self.verify_checksums = mode == "bytes"
 
     def audit_once(self) -> AuditReport:
         report = self.audit_records(self.dsdb.query(Query.where(tss_kind=FILE_KIND)))
@@ -88,8 +111,10 @@ class Auditor:
         return report
 
     def _check(self, record: dict, replica: dict) -> str:
-        if self.verify_checksums:
+        if self.mode == "bytes":
             return self.dsdb.verify_replica(record, replica)
+        if self.mode == "key":
+            return self._check_key(record, replica)
         # Location-only audit: cheaper, catches deletion but not corruption.
         client = self.dsdb.pool.try_get(replica["host"], replica["port"])
         if client is None:
@@ -101,3 +126,24 @@ class Auditor:
         except ChirpError:
             return "missing"
         return "ok" if st.size == record.get("size", st.size) else "damaged"
+
+    def _check_key(self, record: dict, replica: dict) -> str:
+        """Key-comparison audit: compare stored binding to the record's
+        checksum without reading the file over the wire."""
+        from repro.util.errors import ChirpError, DoesNotExistError, InvalidRequestError
+
+        client = self.dsdb.pool.try_get(replica["host"], replica["port"])
+        if client is None:
+            return "missing"
+        try:
+            key = client.keyof(replica["path"])
+        except InvalidRequestError:
+            # Not a CAS server: the metadata shortcut does not exist
+            # there, so pay for the byte-level audit.
+            return self.dsdb.verify_replica(record, replica)
+        except DoesNotExistError:
+            return "missing"
+        except ChirpError:
+            return "missing"
+        expected = record.get("checksum")
+        return "ok" if expected and key == expected else "damaged"

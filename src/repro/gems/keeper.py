@@ -87,7 +87,10 @@ class KeeperConfig:
         listings before the keeper treats it as suspect (mirrors the
         catalog's own entry lifetime).
     :ivar tick_interval: sleep between ticks in the background loop.
-    :ivar verify_checksums: audit mode (see :class:`Auditor`).
+    :ivar verify_checksums: legacy audit switch (see :class:`Auditor`).
+    :ivar audit_mode: explicit audit mode ("bytes", "key", "location");
+        overrides ``verify_checksums`` when set.  "key" turns each
+        replica check into an O(1) metadata comparison on CAS servers.
     """
 
     state_dir: str
@@ -98,6 +101,7 @@ class KeeperConfig:
     catalog_lifetime: float = 900.0
     tick_interval: float = 1.0
     verify_checksums: bool = True
+    audit_mode: Optional[str] = None
 
     def __post_init__(self):
         if self.scan_batch < 1:
@@ -269,7 +273,11 @@ class Keeper:
         self.config = config
         self.catalog = catalog
         self.clock = clock or MonotonicClock()
-        self.auditor = Auditor(dsdb, verify_checksums=config.verify_checksums)
+        self.auditor = Auditor(
+            dsdb,
+            verify_checksums=config.verify_checksums,
+            mode=config.audit_mode,
+        )
         self.replicator = Replicator(dsdb, policy)
         os.makedirs(config.state_dir, exist_ok=True)
         self.journal = RepairJournal(os.path.join(config.state_dir, JOURNAL_NAME))

@@ -292,6 +292,29 @@ class Connection:
         reply = self.rpc("checksum", path, deadline=deadline)
         return reply[1]
 
+    # -- content-addressed verbs (protocol v3; older or non-CAS servers
+    # answer InvalidRequestError, which callers catch to fall back) ----
+
+    def lookup(self, key: str) -> bool:
+        """Whether the server already holds a sealed blob with this key."""
+        reply = self.rpc("lookup", key)
+        return len(reply) > 1 and reply[1] == "1"
+
+    def putkey(self, path: str, key: str, mode: int = 0o644) -> int:
+        """Bind a path to an existing blob by key: copy-by-reference.
+
+        Returns the blob size.  Raises DoesNotExistError when the key is
+        absent (caller falls back to putfile) and InvalidRequestError on
+        non-CAS servers.
+        """
+        reply = self.rpc("putkey", path, mode, key)
+        return int(reply[0])
+
+    def keyof(self, path: str) -> str:
+        """The content key a path is bound to (metadata-only)."""
+        reply = self.rpc("keyof", path)
+        return reply[1]
+
     def getdir(self, path: str, deadline: Optional[Deadline] = None) -> list[str]:
         start = time.perf_counter()
         error = True

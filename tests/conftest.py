@@ -8,6 +8,7 @@ per-test temp directory).
 
 from __future__ import annotations
 
+import os
 import socket
 import threading
 
@@ -62,6 +63,9 @@ class ServerFactory:
             root=str(root),
             owner=overrides.pop("owner", self.owner),
             auth=overrides.pop("auth", self.auth),
+            # The CI backend matrix sets TSS_TEST_STORE to re-run the
+            # integration tests over each store kind.
+            store=overrides.pop("store", os.environ.get("TSS_TEST_STORE", "local")),
             **overrides,
         )
         server = FileServer(config).start()

@@ -1,0 +1,147 @@
+"""Property test: the CAS store is observationally equivalent to local.
+
+Random sequences of whole-file Chirp operations are replayed against
+two live servers -- one on ``--store local``, one on ``--store cas`` --
+and every per-op outcome (result value or error status) plus the final
+directory tree must match exactly.  This is the strongest form of the
+abstraction/resource separation claim: a client cannot tell which
+resource is behind the protocol.
+"""
+
+from __future__ import annotations
+
+import getpass
+import itertools
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.auth.methods import AuthContext, ClientCredentials
+from repro.chirp.client import ChirpClient
+from repro.chirp.protocol import OpenFlags
+from repro.chirp.server import FileServer, ServerConfig
+from repro.util.errors import ChirpError
+
+_example_ids = itertools.count()
+
+# A small shared namespace so sequences collide with themselves: the
+# same paths get created, clobbered, renamed over, and deleted.
+NAMES = ("a.txt", "b.bin", "c", "sub/a.txt", "sub/d")
+DIRS = ("sub", "d2")
+
+# A few fixed payloads (so dedup triggers) mixed with arbitrary bytes.
+payloads = st.one_of(
+    st.sampled_from([b"", b"shared-payload", b"x" * 150]),
+    st.binary(max_size=200),
+)
+
+names = st.sampled_from(NAMES)
+
+operations = st.one_of(
+    st.tuples(st.just("put"), names, payloads),
+    st.tuples(st.just("get"), names),
+    st.tuples(st.just("patch"), names, payloads, st.integers(0, 250)),
+    st.tuples(st.just("truncate"), names, st.integers(0, 250)),
+    st.tuples(st.just("unlink"), names),
+    st.tuples(st.just("rename"), names, names),
+    st.tuples(st.just("mkdir"), st.sampled_from(DIRS)),
+    st.tuples(st.just("rmdir"), st.sampled_from(DIRS)),
+    st.tuples(st.just("stat"), names),
+    st.tuples(st.just("checksum"), names),
+    st.tuples(st.just("getdir"), st.sampled_from(("", "sub", "d2"))),
+)
+
+sequences = st.lists(operations, min_size=1, max_size=10)
+
+
+@pytest.fixture(scope="module")
+def server_pair(tmp_path_factory):
+    base = tmp_path_factory.mktemp("equiv")
+    challenge_dir = base / "challenges"
+    challenge_dir.mkdir()
+    auth = AuthContext(enabled=("unix",), unix_challenge_dir=str(challenge_dir))
+    owner = f"unix:{getpass.getuser()}"
+    credentials = ClientCredentials(methods=("unix",))
+    servers, clients = [], []
+    for kind in ("local", "cas"):
+        root = base / f"export-{kind}"
+        root.mkdir()
+        server = FileServer(
+            ServerConfig(root=str(root), owner=owner, auth=auth, store=kind)
+        ).start()
+        servers.append(server)
+        clients.append(
+            ChirpClient(*server.address, credentials=credentials, timeout=10.0)
+        )
+    yield clients
+    for c in clients:
+        c.close()
+    for s in servers:
+        s.stop()
+
+
+def apply_op(client: ChirpClient, base: str, op: tuple):
+    """One operation -> a comparable outcome (value, or error status)."""
+    kind, args = op[0], op[1:]
+    try:
+        if kind == "put":
+            return ("ok", client.putfile(f"{base}/{args[0]}", args[1]))
+        if kind == "get":
+            return ("ok", client.getfile(f"{base}/{args[0]}"))
+        if kind == "patch":
+            fd = client.open(f"{base}/{args[0]}", OpenFlags(write=True))
+            try:
+                return ("ok", client.pwrite(fd, args[1], args[2]))
+            finally:
+                client.close_fd(fd)
+        if kind == "truncate":
+            return ("ok", client.truncate(f"{base}/{args[0]}", args[1]))
+        if kind == "unlink":
+            return ("ok", client.unlink(f"{base}/{args[0]}"))
+        if kind == "rename":
+            return ("ok", client.rename(f"{base}/{args[0]}", f"{base}/{args[1]}"))
+        if kind == "mkdir":
+            return ("ok", client.mkdir(f"{base}/{args[0]}"))
+        if kind == "rmdir":
+            return ("ok", client.rmdir(f"{base}/{args[0]}"))
+        if kind == "stat":
+            s = client.stat(f"{base}/{args[0]}")
+            return ("ok", (s.is_dir, s.size))
+        if kind == "checksum":
+            return ("ok", client.checksum(f"{base}/{args[0]}"))
+        if kind == "getdir":
+            return ("ok", sorted(client.getdir(f"{base}/{args[0]}".rstrip("/"))))
+        raise AssertionError(f"unknown op {kind}")
+    except ChirpError as exc:
+        return ("err", exc.status)
+
+
+def observable_tree(client: ChirpClient, vdir: str) -> dict:
+    """The client-visible state under ``vdir``: names, sizes, content."""
+    out = {}
+    for name in sorted(client.getdir(vdir)):
+        path = f"{vdir}/{name}"
+        s = client.stat(path)
+        if s.is_dir:
+            out[name] = ("dir", observable_tree(client, path))
+        else:
+            out[name] = ("file", s.size, client.checksum(path))
+    return out
+
+
+@settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.function_scoped_fixture],
+)
+@given(seq=sequences)
+def test_cas_indistinguishable_from_local(server_pair, seq):
+    local, cas = server_pair
+    base = f"/e{next(_example_ids)}"
+    for client in (local, cas):
+        client.mkdir(base)
+    for op in seq:
+        outcomes = [apply_op(c, base, op) for c in (local, cas)]
+        assert outcomes[0] == outcomes[1], f"divergence on {op!r}: {outcomes}"
+    assert observable_tree(local, base) == observable_tree(cas, base)

@@ -1,0 +1,381 @@
+"""Backend-conformance battery: one contract, three storage resources.
+
+Every test in ``TestStoreConformance`` runs against the local, memory
+and CAS stores through the same :class:`~repro.chirp.backend.Backend`
+the server uses -- the executable form of the paper's claim that the
+abstraction is independent of the resource serving it.  CAS-specific
+invariants (dedup refcounts, immutability, GC, scrub) follow in their
+own class.
+"""
+
+from __future__ import annotations
+
+import getpass
+import os
+
+import pytest
+
+from repro.chirp.backend import Backend
+from repro.chirp.protocol import OpenFlags
+from repro.store import make_store
+from repro.store.cas import CasStore
+from repro.util import errors as E
+from repro.util.checksum import data_checksum
+
+OWNER = f"unix:{getpass.getuser()}"
+
+STORE_KINDS = ("local", "memory", "cas")
+
+
+def _make_backend(kind: str, tmp_path, **kwargs) -> Backend:
+    root = tmp_path / f"store-{kind}"
+    root.mkdir(exist_ok=True)
+    return Backend(make_store(kind, str(root)), OWNER, **kwargs)
+
+
+@pytest.fixture(params=STORE_KINDS)
+def backend(request, tmp_path) -> Backend:
+    return _make_backend(request.param, tmp_path)
+
+
+def write_file(backend, path, data, mode=0o644):
+    flags = OpenFlags(write=True, create=True, truncate=True)
+    h = backend.open(OWNER, path, flags, mode)
+    backend.pwrite(h, data, 0)
+    backend.close(h)
+
+
+def read_file(backend, path):
+    h = backend.open(OWNER, path, OpenFlags(read=True), 0)
+    out = b""
+    while True:
+        chunk = backend.pread(h, 1 << 16, len(out))
+        if not chunk:
+            break
+        out += chunk
+    backend.close(h)
+    return out
+
+
+class TestStoreConformance:
+    def test_write_read_roundtrip(self, backend):
+        write_file(backend, "/f.txt", b"hello store")
+        assert read_file(backend, "/f.txt") == b"hello store"
+
+    def test_pwrite_at_offset_into_existing_file(self, backend):
+        write_file(backend, "/f", b"aaaaaaaa")
+        h = backend.open(OWNER, "/f", OpenFlags(write=True), 0o644)
+        backend.pwrite(h, b"BB", 3)
+        backend.close(h)
+        assert read_file(backend, "/f") == b"aaaBBaaa"
+
+    def test_append_flag_writes_at_end(self, backend):
+        write_file(backend, "/log", b"one")
+        h = backend.open(OWNER, "/log", OpenFlags(write=True, append=True), 0o644)
+        backend.pwrite(h, b"two", 0)
+        backend.close(h)
+        assert read_file(backend, "/log") == b"onetwo"
+
+    def test_zero_length_write_past_eof_is_a_noop(self, backend):
+        # POSIX: pwrite(fd, "", 0) never extends the file, at any offset.
+        write_file(backend, "/f", b"")
+        h = backend.open(OWNER, "/f", OpenFlags(write=True), 0o644)
+        assert backend.pwrite(h, b"", 5) == 0
+        backend.close(h)
+        assert backend.stat(OWNER, "/f").size == 0
+        assert read_file(backend, "/f") == b""
+
+    def test_sparse_write_zero_fills(self, backend):
+        h = backend.open(
+            OWNER, "/sparse", OpenFlags(write=True, create=True), 0o644
+        )
+        backend.pwrite(h, b"x", 4)
+        backend.close(h)
+        assert read_file(backend, "/sparse") == b"\x00\x00\x00\x00x"
+
+    def test_exclusive_create_refuses_existing(self, backend):
+        write_file(backend, "/f", b"x")
+        flags = OpenFlags(write=True, create=True, exclusive=True)
+        with pytest.raises(E.AlreadyExistsError):
+            backend.open(OWNER, "/f", flags, 0o644)
+
+    def test_truncate_flag_wipes_content(self, backend):
+        write_file(backend, "/f", b"long content here")
+        h = backend.open(
+            OWNER, "/f", OpenFlags(write=True, truncate=True), 0o644
+        )
+        backend.close(h)
+        assert read_file(backend, "/f") == b""
+
+    def test_open_missing_without_create_fails(self, backend):
+        with pytest.raises(E.DoesNotExistError):
+            backend.open(OWNER, "/nope", OpenFlags(read=True), 0)
+        with pytest.raises(E.DoesNotExistError):
+            backend.open(OWNER, "/nope", OpenFlags(write=True), 0o644)
+
+    def test_open_directory_fails(self, backend):
+        backend.mkdir(OWNER, "/d", 0o755)
+        with pytest.raises(E.IsADirectoryError_):
+            backend.open(OWNER, "/d", OpenFlags(read=True), 0)
+
+    def test_ftruncate_shrink_and_extend(self, backend):
+        write_file(backend, "/f", b"0123456789")
+        h = backend.open(
+            OWNER, "/f", OpenFlags(read=True, write=True), 0o644
+        )
+        backend.ftruncate(h, 4)
+        assert backend.fstat(h).size == 4
+        backend.ftruncate(h, 6)
+        backend.close(h)
+        assert read_file(backend, "/f") == b"0123\x00\x00"
+
+    def test_fstat_reports_size(self, backend):
+        write_file(backend, "/f", b"12345")
+        h = backend.open(OWNER, "/f", OpenFlags(read=True), 0)
+        assert backend.fstat(h).size == 5
+        backend.close(h)
+
+    def test_bad_handle_operations_raise(self, backend):
+        with pytest.raises((E.BadFileDescriptorError, E.ChirpError)):
+            backend.close(999999)
+        with pytest.raises((E.BadFileDescriptorError, E.ChirpError)):
+            backend.pread(999999, 10, 0)
+
+    def test_stat_file_and_directory(self, backend):
+        write_file(backend, "/f", b"abc")
+        backend.mkdir(OWNER, "/d", 0o755)
+        assert backend.stat(OWNER, "/f").size == 3
+        assert not backend.stat(OWNER, "/f").is_dir
+        assert backend.stat(OWNER, "/d").is_dir
+        with pytest.raises(E.DoesNotExistError):
+            backend.stat(OWNER, "/missing")
+
+    def test_unlink(self, backend):
+        write_file(backend, "/f", b"x")
+        backend.unlink(OWNER, "/f")
+        with pytest.raises(E.DoesNotExistError):
+            backend.stat(OWNER, "/f")
+        with pytest.raises(E.DoesNotExistError):
+            backend.unlink(OWNER, "/f")
+
+    def test_rename_and_clobber(self, backend):
+        write_file(backend, "/a", b"aaa")
+        write_file(backend, "/b", b"bbb")
+        backend.rename(OWNER, "/a", "/b")
+        assert read_file(backend, "/b") == b"aaa"
+        with pytest.raises(E.DoesNotExistError):
+            backend.stat(OWNER, "/a")
+
+    def test_rename_into_subdirectory(self, backend):
+        backend.mkdir(OWNER, "/d", 0o755)
+        write_file(backend, "/f", b"move me")
+        backend.rename(OWNER, "/f", "/d/f")
+        assert read_file(backend, "/d/f") == b"move me"
+
+    def test_mkdir_rmdir(self, backend):
+        backend.mkdir(OWNER, "/d", 0o755)
+        with pytest.raises(E.AlreadyExistsError):
+            backend.mkdir(OWNER, "/d", 0o755)
+        backend.rmdir(OWNER, "/d")
+        with pytest.raises(E.DoesNotExistError):
+            backend.stat(OWNER, "/d")
+
+    def test_rmdir_refuses_nonempty(self, backend):
+        backend.mkdir(OWNER, "/d", 0o755)
+        write_file(backend, "/d/f", b"x")
+        with pytest.raises(E.NotEmptyError):
+            backend.rmdir(OWNER, "/d")
+
+    def test_getdir_sorted_and_hides_acl(self, backend):
+        backend.mkdir(OWNER, "/d", 0o755)
+        write_file(backend, "/d/zeta", b"1")
+        write_file(backend, "/d/alpha", b"2")
+        backend.setacl(OWNER, "/d", "unix:visitor", "rl")
+        assert backend.getdir(OWNER, "/d") == ["alpha", "zeta"]
+
+    def test_truncate_by_path(self, backend):
+        write_file(backend, "/f", b"0123456789")
+        backend.truncate(OWNER, "/f", 3)
+        assert read_file(backend, "/f") == b"012"
+        backend.truncate(OWNER, "/f", 5)
+        assert read_file(backend, "/f") == b"012\x00\x00"
+
+    def test_utime_roundtrip(self, backend):
+        write_file(backend, "/f", b"x")
+        backend.utime(OWNER, "/f", 1_000_000, 2_000_000)
+        st = backend.stat(OWNER, "/f")
+        assert st.mtime == 2_000_000
+
+    def test_checksum_matches_content(self, backend):
+        payload = b"checksum me" * 100
+        write_file(backend, "/f", payload)
+        assert backend.checksum(OWNER, "/f") == data_checksum(payload)
+
+    def test_acl_files_are_hidden_and_forbidden(self, backend):
+        with pytest.raises(E.NotAuthorizedError):
+            backend.open(OWNER, "/.__acl", OpenFlags(read=True), 0)
+        with pytest.raises(E.NotAuthorizedError):
+            backend.unlink(OWNER, "/.__acl")
+
+    def test_statfs_reports_capacity(self, backend):
+        fs = backend.statfs()
+        assert fs.total_bytes > 0
+
+
+class TestQuotaConformance:
+    @pytest.fixture(params=STORE_KINDS)
+    def quota_backend(self, request, tmp_path) -> Backend:
+        return _make_backend(request.param, tmp_path, quota_bytes=10_000)
+
+    def test_pwrite_over_quota_fails(self, quota_backend):
+        h = quota_backend.open(
+            OWNER, "/big", OpenFlags(write=True, create=True), 0o644
+        )
+        with pytest.raises(E.NoSpaceError):
+            quota_backend.pwrite(h, b"x" * 11_000, 0)
+        quota_backend.close(h)
+
+    def test_quota_charge_reflects_usage(self, quota_backend):
+        write_file(quota_backend, "/f", b"x" * 4_000)
+        quota_backend._charge_quota(1_000)  # still fits
+        with pytest.raises(E.NoSpaceError):
+            quota_backend._charge_quota(7_000)
+
+    def test_statfs_tracks_quota_usage(self, quota_backend):
+        write_file(quota_backend, "/f", b"x" * 4_000)
+        fs = quota_backend.statfs()
+        assert fs.total_bytes == 10_000
+        assert fs.free_bytes <= 6_100
+
+    def test_unlink_releases_quota(self, quota_backend):
+        write_file(quota_backend, "/f", b"x" * 9_000)
+        with pytest.raises(E.NoSpaceError):
+            quota_backend._charge_quota(5_000)
+        quota_backend.unlink(OWNER, "/f")
+        quota_backend._charge_quota(5_000)  # freed
+
+
+class TestCasInvariants:
+    @pytest.fixture()
+    def store(self, tmp_path) -> CasStore:
+        root = tmp_path / "cas"
+        root.mkdir()
+        return CasStore(str(root))
+
+    def test_dedup_same_content_one_blob_refcount_two(self, store):
+        store.write_blob("/a", b"shared content")
+        store.write_blob("/b", b"shared content")
+        key = store.key_of("/a")
+        assert store.key_of("/b") == key
+        assert store.refcount(key) == 2
+        # exactly one object backs both paths (plus the empty blob that
+        # eager file materialization creates and GC then removes)
+        assert store.object_count() == 1
+
+    def test_unreferenced_blobs_are_garbage_collected(self, store):
+        store.write_blob("/a", b"doomed")
+        store.write_blob("/b", b"doomed")
+        key = store.key_of("/a")
+        store.unlink("/a")
+        assert store.refcount(key) == 1
+        assert store.lookup_key(key)
+        store.unlink("/b")
+        assert store.refcount(key) == 0
+        assert not store.lookup_key(key)
+        assert store.object_count() == 0
+
+    def test_objects_are_immutable(self, store):
+        store.write_blob("/a", b"version one")
+        store.write_blob("/b", b"version one")
+        key = store.key_of("/a")
+        obj = store._object_path(key)
+        # sealed objects are read-only on disk
+        assert not os.access(obj, os.W_OK) or os.getuid() == 0
+        assert (os.stat(obj).st_mode & 0o222) == 0
+        # rewriting one path must not disturb the other's content
+        store.write_blob("/a", b"version two")
+        assert store.read_blob("/b") == b"version one"
+        assert store.refcount(key) == 1
+
+    def test_rewrite_releases_old_key(self, store):
+        store.write_blob("/a", b"old")
+        old_key = store.key_of("/a")
+        store.write_blob("/a", b"new")
+        assert store.refcount(old_key) == 0
+        assert not store.lookup_key(old_key)
+
+    def test_rename_clobber_releases_target_key(self, store):
+        store.write_blob("/a", b"kept")
+        store.write_blob("/b", b"clobbered")
+        doomed = store.key_of("/b")
+        store.rename("/a", "/b")
+        assert store.refcount(doomed) == 0
+        assert store.read_blob("/b") == b"kept"
+
+    def test_link_key_copy_by_reference(self, store):
+        store.write_blob("/orig", b"linked content")
+        key = store.key_of("/orig")
+        size = store.link_key("/copy", key)
+        assert size == len(b"linked content")
+        assert store.read_blob("/copy") == b"linked content"
+        assert store.refcount(key) == 2
+        assert store.object_count() == 1
+
+    def test_link_key_missing_key_raises(self, store):
+        with pytest.raises(E.DoesNotExistError):
+            store.link_key("/copy", "0" * 40)
+
+    def test_lookup_and_keyof(self, store):
+        assert not store.lookup_key(data_checksum(b"payload"))
+        store.write_blob("/f", b"payload")
+        key = data_checksum(b"payload")
+        assert store.lookup_key(key)
+        assert store.key_of("/f") == key
+        assert store.checksum("/f") == key
+
+    def test_non_cas_stores_refuse_cas_surface(self, tmp_path):
+        for kind in ("local", "memory"):
+            s = make_store(kind, str(tmp_path))
+            with pytest.raises(E.InvalidRequestError):
+                s.lookup_key("0" * 40)
+            with pytest.raises(E.InvalidRequestError):
+                s.link_key("/x", "0" * 40)
+            with pytest.raises(E.InvalidRequestError):
+                s.key_of("/x")
+
+    def test_refcounts_rebuilt_on_restart(self, store):
+        store.write_blob("/a", b"persisted")
+        store.write_blob("/b", b"persisted")
+        key = store.key_of("/a")
+        reopened = CasStore(store.root)
+        assert reopened.refcount(key) == 2
+        assert reopened.used_bytes() == len(b"persisted")
+
+    def test_scrub_detects_and_quarantines_bitrot(self, store):
+        store.write_blob("/f", b"precious data")
+        key = store.key_of("/f")
+        obj = store._object_path(key)
+        os.chmod(obj, 0o644)
+        with open(obj, "wb") as fh:
+            fh.write(b"bit rot")
+        report = store.scrub()
+        assert report["corrupt"] == [key]
+        report = store.scrub(quarantine=True)
+        assert report["quarantined"] == [key]
+        assert not os.path.exists(obj)
+        assert os.path.exists(os.path.join(store.quarantine_root, key))
+
+    def test_scrub_clean_store(self, store):
+        store.write_blob("/f", b"fine")
+        report = store.scrub()
+        assert report["corrupt"] == []
+        assert report["ok"] == report["objects"] == 1
+
+    def test_counters_snapshot(self, store):
+        store.write_blob("/a", b"counted")
+        store.write_blob("/b", b"counted")
+        snap = store.snapshot()
+        assert snap["kind"] == "cas"
+        assert snap["dedup_hits"] >= 1
+        assert snap["objects_ingested"] >= 1
+        assert snap["used_bytes"] == len(b"counted")
