@@ -39,8 +39,10 @@ lookup           ``l`` on the root
 
 from __future__ import annotations
 
+import logging
 import posixpath
 import threading
+import time
 
 from repro.auth.acl import ACL_FILE_NAME, Acl, parse_rights
 from repro.chirp.protocol import ChirpStat, OpenFlags, StatFs
@@ -53,10 +55,17 @@ from repro.util.errors import (
     InvalidRequestError,
     NoSpaceError,
     NotAuthorizedError,
+    TryAgainError,
+    UnknownError,
 )
 from repro.util.paths import normalize_virtual, split_virtual
 
 __all__ = ["Backend", "LocalBackend"]
+
+log = logging.getLogger("repro.chirp.backend")
+
+#: name of the throwaway blob the degraded-mode recovery probe writes
+PROBE_NAME = "/.tss-recovery-probe"
 
 
 class Backend:
@@ -75,11 +84,31 @@ class Backend:
         *,
         quota_bytes: int | None = None,
         root_acl: Acl | None = None,
+        eio_degrade_threshold: int = 3,
+        recovery_probe_interval: float = 5.0,
     ):
         self.store = store
         self.owner_subject = owner_subject
         self.quota_bytes = quota_bytes
         self._lock = threading.Lock()
+        # Degraded read-only mode: the abstraction survives a failing
+        # resource by refusing writes while still serving reads.  A
+        # store-raised NO_SPACE flips the volume immediately; generic
+        # I/O errors (UnknownError, the EIO mapping) flip it after
+        # ``eio_degrade_threshold`` *consecutive* write failures.
+        self.eio_degrade_threshold = eio_degrade_threshold
+        self.recovery_probe_interval = recovery_probe_interval
+        self.read_only = False
+        self.read_only_reason = ""
+        self._write_io_errors = 0
+        self._last_probe = 0.0
+        self._degraded_counters = {
+            "degraded_entered": 0,
+            "writes_refused": 0,
+            "write_errors": 0,
+            "recovered": 0,
+            "recovery_probes": 0,
+        }
         if self._load_acl("/") is None:
             self._store_acl("/", root_acl or Acl.owner_default(owner_subject))
         elif root_acl is not None:
@@ -157,6 +186,112 @@ class Backend:
         return acl
 
     # ------------------------------------------------------------------
+    # degraded read-only mode
+    # ------------------------------------------------------------------
+
+    def _refuse_if_read_only(self) -> None:
+        """Refuse a mutation while the volume is degraded.
+
+        ENOSPC degradation answers ``NO_SPACE`` (the client's retry on
+        another server is the right move); EIO degradation answers
+        ``TRY_AGAIN`` (the disk may come back).  Deletions are *not*
+        routed through here: freeing space is how an ENOSPC volume gets
+        healthy again.
+        """
+        if not self.read_only:
+            return
+        with self._lock:
+            self._degraded_counters["writes_refused"] += 1
+        if self.read_only_reason == "enospc":
+            raise NoSpaceError("volume is read-only (degraded: no space)")
+        raise TryAgainError(
+            f"volume is read-only (degraded: {self.read_only_reason})"
+        )
+
+    def record_write_error(self, exc: Exception) -> None:
+        """Feed degraded-mode bookkeeping after a store write failed.
+
+        Only *resource* failures count: a store-raised NO_SPACE flips
+        the volume at once, a generic I/O error (UNKNOWN) after enough
+        consecutive hits.  Policy refusals (quota, ACL, ENOENT...) are
+        the abstraction working as designed, not the resource failing.
+        """
+        with self._lock:
+            self._degraded_counters["write_errors"] += 1
+        if isinstance(exc, NoSpaceError):
+            self._enter_read_only("enospc")
+        elif isinstance(exc, UnknownError):
+            with self._lock:
+                self._write_io_errors += 1
+                tripped = self._write_io_errors >= self.eio_degrade_threshold
+            if tripped:
+                self._enter_read_only("eio")
+
+    def record_write_ok(self) -> None:
+        """A store write succeeded: reset the consecutive-EIO counter."""
+        with self._lock:
+            self._write_io_errors = 0
+
+    def _enter_read_only(self, reason: str) -> None:
+        with self._lock:
+            if self.read_only:
+                return
+            self.read_only = True
+            self.read_only_reason = reason
+            self._degraded_counters["degraded_entered"] += 1
+        log.warning("volume degraded to read-only (%s)", reason)
+
+    def try_recover(self, *, force: bool = False) -> bool:
+        """Probe the store and exit read-only mode if it works again.
+
+        Writes, reads back, and unlinks a tiny probe blob *directly on
+        the store* (bypassing the refusal gate).  Throttled to one probe
+        per ``recovery_probe_interval`` unless ``force``.  Returns True
+        when the volume recovered on this call.
+        """
+        if not self.read_only:
+            return False
+        now = time.monotonic()
+        with self._lock:
+            if not force and now - self._last_probe < self.recovery_probe_interval:
+                return False
+            self._last_probe = now
+            self._degraded_counters["recovery_probes"] += 1
+        try:
+            self.store.write_blob(PROBE_NAME, b"probe")
+            data = self.store.read_blob(PROBE_NAME)
+            self.store.unlink(PROBE_NAME)
+        except ChirpError:
+            return False
+        if data != b"probe":
+            return False
+        with self._lock:
+            self.read_only = False
+            self.read_only_reason = ""
+            self._write_io_errors = 0
+            self._degraded_counters["recovered"] += 1
+        log.info("volume recovered from read-only mode")
+        return True
+
+    def _store_write(self, op, *args, **kwargs):
+        """Run one store mutation, feeding degraded-mode bookkeeping."""
+        try:
+            result = op(*args, **kwargs)
+        except ChirpError as exc:
+            self.record_write_error(exc)
+            raise
+        self.record_write_ok()
+        return result
+
+    def snapshot(self) -> dict:
+        """Degraded-mode state for the metrics ``volume`` section."""
+        with self._lock:
+            snap = dict(self._degraded_counters)
+        snap["read_only"] = self.read_only
+        snap["read_only_reason"] = self.read_only_reason
+        return snap
+
+    # ------------------------------------------------------------------
     # file I/O (handles come from the store; fd numbering is the
     # server's concern)
     # ------------------------------------------------------------------
@@ -173,8 +308,9 @@ class Backend:
         parent, _name = split_virtual(vpath)
         if flags.write or flags.create or flags.truncate:
             self._check(subject, parent, "w")
-        else:
-            self._check(subject, parent, "r")
+            self._refuse_if_read_only()
+            return self._store_write(self.store.open, vpath, flags, mode)
+        self._check(subject, parent, "r")
         return self.store.open(vpath, flags, mode)
 
     def close(self, handle) -> None:
@@ -188,11 +324,14 @@ class Backend:
     def pwrite(self, handle, data: bytes, offset: int) -> int:
         if offset < 0:
             raise InvalidRequestError("negative offset")
+        self._refuse_if_read_only()
+        # Quota refusal (a policy decision) happens before the store is
+        # touched, so it never counts as a resource failure below.
         self._charge_quota(len(data))
-        return self._handle(handle).pwrite(data, offset)
+        return self._store_write(self._handle(handle).pwrite, data, offset)
 
     def fsync(self, handle) -> None:
-        self._handle(handle).fsync()
+        self._store_write(self._handle(handle).fsync)
 
     def fstat(self, handle) -> ChirpStat:
         return self._handle(handle).fstat()
@@ -200,7 +339,8 @@ class Backend:
     def ftruncate(self, handle, size: int) -> None:
         if size < 0:
             raise InvalidRequestError("negative size")
-        self._handle(handle).ftruncate(size)
+        self._refuse_if_read_only()
+        self._store_write(self._handle(handle).ftruncate, size)
 
     # ------------------------------------------------------------------
     # namespace operations
@@ -244,6 +384,7 @@ class Backend:
             raise InvalidRequestError("cannot rename the root")
         self._check_any(subject, old_parent, "wd")
         self._check(subject, new_parent, "w")
+        self._refuse_if_read_only()
         self.store.rename(vold, vnew)
 
     def mkdir(self, subject: str, vpath: str, mode: int) -> None:
@@ -270,6 +411,7 @@ class Backend:
             raise NotAuthorizedError(
                 f"subject {subject!r} lacks both w and v on {parent!r}"
             )
+        self._refuse_if_read_only()
         self.store.mkdir(vpath, mode)
         if reserved:
             self._store_acl(vpath, acl.reserved_for(subject))
@@ -300,12 +442,14 @@ class Backend:
         self._check(subject, parent, "w")
         if size < 0:
             raise InvalidRequestError("negative size")
-        self.store.truncate(vpath, size)
+        self._refuse_if_read_only()
+        self._store_write(self.store.truncate, vpath, size)
 
     def utime(self, subject: str, vpath: str, atime: int, mtime: int) -> None:
         self._forbid_acl_name(vpath)
         parent, _ = split_virtual(vpath)
         self._check(subject, parent, "w")
+        self._refuse_if_read_only()
         self.store.utime(vpath, atime, mtime)
 
     def checksum(self, subject: str, vpath: str) -> str:
@@ -340,7 +484,8 @@ class Backend:
         if not name:
             raise InvalidRequestError("cannot putkey the root")
         self._check(subject, parent, "w")
-        return self.store.link_key(vpath, key, mode)
+        self._refuse_if_read_only()
+        return self._store_write(self.store.link_key, vpath, key, mode)
 
     def keyof(self, subject: str, vpath: str) -> str:
         """The content key a path is bound to (metadata-only audit)."""
@@ -360,6 +505,7 @@ class Backend:
         return self.effective_acl(vpath)
 
     def setacl(self, subject: str, vpath: str, pattern: str, rights_text: str) -> None:
+        self._refuse_if_read_only()
         with self._lock:
             acl = self._check(subject, vpath, "a")
             if not self.store.isdir(vpath):

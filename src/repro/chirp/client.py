@@ -47,15 +47,34 @@ from repro.transport.connection import Connection
 from repro.transport.deadline import Deadline
 from repro.transport.endpoint import Endpoint
 from repro.transport.metrics import MetricsRegistry
+from repro.util.checksum import data_checksum
 from repro.util.errors import (
     BadFileDescriptorError,
     ChirpError,
     DisconnectedError,
     DoesNotExistError,
+    IntegrityError,
 )
 from repro.util.paths import normalize_virtual
 
 __all__ = ["ChirpClient"]
+
+
+class _HashingSink:
+    """Tees a streamed download into a sink while hashing it."""
+
+    def __init__(self, sink: BinaryIO):
+        from repro.util.checksum import new_hash
+
+        self._sink = sink
+        self._hash = new_hash()
+
+    def write(self, data: bytes) -> int:
+        self._hash.update(data)
+        return self._sink.write(data)
+
+    def hexdigest(self) -> str:
+        return self._hash.hexdigest()
 
 
 class ChirpClient:
@@ -419,6 +438,33 @@ class ChirpClient:
         the file in client memory).
         """
         return self._stateless(lambda c: c.getfile(path, sink))
+
+    def getfile_verified(
+        self, path: str, expected: str, sink: Optional[BinaryIO] = None
+    ) -> bytes | int:
+        """Stream a whole file and verify it hashes to ``expected``.
+
+        On a digest mismatch -- the server holds (or served) corrupted
+        bytes -- raises :class:`~repro.util.errors.IntegrityError`.
+        With no ``sink`` the corrupt bytes are never returned; with a
+        ``sink`` they may already have been streamed into it, so the
+        caller must discard the sink's contents on error (or fetch
+        through a spool, as :meth:`repro.core.dsdb.DSDB.fetch` does).
+        """
+        if sink is None:
+            data = self.getfile(path)
+            if data_checksum(data) != expected:
+                raise IntegrityError(
+                    f"{path}: content digest mismatch (expected {expected})"
+                )
+            return data
+        tee = _HashingSink(sink)
+        count = self.getfile(path, tee)
+        if tee.hexdigest() != expected:
+            raise IntegrityError(
+                f"{path}: content digest mismatch (expected {expected})"
+            )
+        return count
 
     def putfile(
         self,

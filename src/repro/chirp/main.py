@@ -53,11 +53,31 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--quota-bytes", type=int, default=None)
     parser.add_argument(
         "--store",
-        choices=("local", "memory", "cas"),
+        choices=(
+            "local", "memory", "cas",
+            "faulty+local", "faulty+memory", "faulty+cas",
+        ),
         default="local",
         help="storage resource behind the server: 'local' exports the "
         "root directory as-is, 'memory' keeps everything in RAM, 'cas' "
-        "stores deduplicated content-addressed blobs under the root",
+        "stores deduplicated content-addressed blobs under the root; a "
+        "'faulty+' prefix wraps the store in the disk-fault injector "
+        "(chaos testing; pass-through until a fault plan is scripted)",
+    )
+    parser.add_argument(
+        "--eio-degrade-threshold",
+        type=int,
+        default=3,
+        metavar="N",
+        help="consecutive write I/O errors before the volume degrades "
+        "to read-only (ENOSPC degrades immediately)",
+    )
+    parser.add_argument(
+        "--recovery-probe-interval",
+        type=float,
+        default=5.0,
+        metavar="SECONDS",
+        help="minimum interval between read-only recovery probes",
     )
     parser.add_argument(
         "--sync-meta",
@@ -100,6 +120,8 @@ def main(argv: list[str] | None = None) -> int:
         sync_meta=args.sync_meta,
         idle_timeout=args.idle_timeout,
         store=args.store,
+        eio_degrade_threshold=args.eio_degrade_threshold,
+        recovery_probe_interval=args.recovery_probe_interval,
     )
     server = FileServer(config)
     server.start()

@@ -78,8 +78,32 @@ class ServerConfig:
     #: with dedup and copy-by-reference).
     store: str = "local"
     #: Optional metrics registry; when set, per-store counters are
-    #: published under the "store" section.
+    #: published under the "store" section (and degraded-mode state
+    #: under "volume").
     metrics: object | None = None
+    #: Consecutive store write I/O errors before the volume degrades to
+    #: read-only (a store-raised NO_SPACE degrades immediately).
+    eio_degrade_threshold: int = 3
+    #: Minimum seconds between degraded-mode recovery probes.
+    recovery_probe_interval: float = 5.0
+
+
+class _CountingWriter:
+    """A :class:`HandleWriter` that counts the bytes offered to it.
+
+    ``read_into_file`` consumes exactly the bytes it passes to
+    ``write``, so ``consumed`` tells the putfile handler how much of
+    the request payload is left to drain after a mid-write store
+    failure.
+    """
+
+    def __init__(self, handle: BlobHandle):
+        self._writer = HandleWriter(handle)
+        self.consumed = 0
+
+    def write(self, data: bytes) -> int:
+        self.consumed += len(data)
+        return self._writer.write(data)
 
 
 class _Connection:
@@ -139,9 +163,12 @@ class FileServer:
             self.store,
             config.owner,
             quota_bytes=config.quota_bytes,
+            eio_degrade_threshold=config.eio_degrade_threshold,
+            recovery_probe_interval=config.recovery_probe_interval,
         )
         if config.metrics is not None:
             config.metrics.attach_section("store", self.store)
+            config.metrics.attach_section("volume", self.backend)
         self._listener: socket.socket | None = None
         self._threads: list[threading.Thread] = []
         self._conn_socks: set[socket.socket] = set()
@@ -446,13 +473,27 @@ class FileServer:
             self._drain(conn.stream, length)
             conn.stream.write_line(int(exc.status), str(exc))
             return
+        # Count bytes consumed from the stream so a store failure midway
+        # through the payload (ENOSPC, EIO) can drain the unread tail and
+        # keep the connection usable -- the error goes back as a status
+        # line instead of a desynced stream.
+        sink = _CountingWriter(handle)
         try:
-            conn.stream.read_into_file(HandleWriter(handle), length)
-        finally:
+            conn.stream.read_into_file(sink, length)
+        except ChirpError as exc:
+            self.backend.record_write_error(exc)
             try:
                 handle.close()
             except ChirpError:
                 pass
+            self._drain(conn.stream, length - sink.consumed)
+            conn.stream.write_line(int(exc.status), str(exc))
+            return
+        try:
+            handle.close()
+        except ChirpError:
+            pass
+        self.backend.record_write_ok()
         conn.stream.write_line(length)
 
     # -- content-addressed verbs (CAS stores; others answer
@@ -526,6 +567,8 @@ class FileServer:
             "total_bytes": fs.total_bytes,
             "free_bytes": fs.free_bytes,
             "root_acl": self.backend.root_acl_text(),
+            "read_only": self.backend.read_only,
+            "read_only_reason": self.backend.read_only_reason,
             "uptime": time.time() - self._started_at,
             "report_time": time.time(),
         }
@@ -542,5 +585,9 @@ class FileServer:
 
     def _report_loop(self) -> None:
         while not self._stop.is_set():
+            # A degraded volume probes for recovery on the report cadence
+            # (the probe throttles itself), so the catalog sees the
+            # read_only flag drop as soon as the resource heals.
+            self.backend.try_recover()
             self.report_now()
             self._stop.wait(self.config.report_interval)

@@ -17,6 +17,7 @@ the adapter namespace (``/cfs/host:port/...``, ``/dsfs/host:port@vol/...``).
 from __future__ import annotations
 
 import argparse
+import json
 import stat as stat_mod
 import sys
 
@@ -150,6 +151,12 @@ def _cmd_store_scrub(adapter: Adapter, args) -> int:
     store = CasStore(args.root)
     default_registry().attach_section("store", store)
     report = store.scrub(quarantine=args.quarantine)
+    if args.json:
+        # Machine-readable form: what a keeper ingests
+        # (Keeper.ingest_scrub_report) and what CI archives as an
+        # artifact.  Same exit-code contract as the human form.
+        print(json.dumps(report, sort_keys=True))
+        return 0 if not report["corrupt"] else 1
     print(f"objects   {report['objects']}")
     print(f"ok        {report['ok']}")
     for key in report["corrupt"]:
@@ -357,6 +364,9 @@ def build_parser() -> argparse.ArgumentParser:
     ps.add_argument("root", help="store root directory (a --store cas server root)")
     ps.add_argument("--quarantine", action="store_true",
                     help="move corrupt blobs aside instead of just reporting")
+    ps.add_argument("--json", action="store_true",
+                    help="emit the scrub report as one JSON object "
+                    "(exit status still 1 when corruption was found)")
     ps.set_defaults(fn=_cmd_store_scrub)
 
     p = sub.add_parser("fsck", help="audit (and repair) a DSFS volume")

@@ -38,6 +38,7 @@ from repro.util.errors import (
     ChirpError,
     DisconnectedError,
     DoesNotExistError,
+    IntegrityError,
     InvalidRequestError,
     TryAgainError,
 )
@@ -267,6 +268,16 @@ class DSDB:
 
         This is the DSDB's failure coherence: any live replica serves the
         read; only when every replica is gone does the fetch fail.
+
+        With ``verify=True`` the *fetched bytes* are hashed against the
+        record's checksum before anything reaches the caller -- the
+        corruption-safe read path.  (The ``checksum`` RPC is O(1)
+        pointer metadata on content-addressed servers and so blind to
+        at-rest bitrot; only hashing what was actually served catches a
+        lying replica.)  A digest mismatch marks the replica ``damaged``
+        in the record -- the read-repair trigger the keeper acts on --
+        and fails over to the next replica.  Corrupt bytes are never
+        written to ``sink``.
         """
         record = self._resolve(record_or_id)
         last: Optional[Exception] = None
@@ -275,14 +286,25 @@ class DSDB:
             if client is None:
                 last = DisconnectedError(f"{rep['host']}:{rep['port']} down")
                 continue
-            try:
-                if verify and client.checksum(rep["path"]) != record["checksum"]:
-                    last = DoesNotExistError(f"{rep['path']}: checksum mismatch")
+            if not verify:
+                try:
+                    return client.getfile(rep["path"], sink)
+                except ChirpError as exc:
+                    last = exc
                     continue
-                return client.getfile(rep["path"], sink)
+            try:
+                data = client.getfile_verified(rep["path"], record["checksum"])
+            except IntegrityError as exc:
+                record = self.mark_replica(record, rep, "damaged")
+                last = exc
+                continue
             except ChirpError as exc:
                 last = exc
                 continue
+            if sink is None:
+                return data
+            sink.write(data)
+            return len(data)
         raise DoesNotExistError(
             f"{record.get('name', record.get('id'))}: no replica available"
         ) from last

@@ -44,6 +44,7 @@ from repro.util.errors import (
     ChirpError,
     DisconnectedError,
     DoesNotExistError,
+    IntegrityError,
     InvalidRequestError,
     IsADirectoryError_,
     NotAuthorizedError,
@@ -259,6 +260,13 @@ class ReplicatedFS(Filesystem):
             if fanout_workers is not None
             else min(self.copies, DEFAULT_FANOUT)
         )
+        #: ``host:port`` of every server that served bytes failing digest
+        #: verification (see :meth:`read_verified`).  Mirrors
+        #: :attr:`ReplicatedHandle.suspects`: corruption is the server
+        #: *answering wrong*, not the transport failing, so it must not
+        #: trip the circuit breaker -- this list is the parallel channel
+        #: an auditor drains to know which servers to re-replicate around.
+        self.suspects: list[str] = []
 
     # ------------------------------------------------------------------
     # plumbing
@@ -494,6 +502,22 @@ class ReplicatedFS(Filesystem):
         """
         path = self._guard_name(path)
         stub = self._read_stub(path)
+        digests = self._replica_digests(stub)
+        majority = self._majority_digest(stub, digests)
+        out = {}
+        for location, digest in digests.items():
+            if digest is None:
+                out[location] = "missing"
+            elif digest == majority:
+                out[location] = "ok"
+            else:
+                out[location] = "diverged"
+        return out
+
+    def _replica_digests(
+        self, stub: MultiStub
+    ) -> dict[tuple[str, int, str], Optional[str]]:
+        """Advertised checksum of every replica (None when unreachable)."""
         digests: dict[tuple[str, int, str], Optional[str]] = {}
         for location in stub.locations:
             host, port, data_path = location
@@ -505,25 +529,64 @@ class ReplicatedFS(Filesystem):
                 digests[location] = client.checksum(data_path)
             except ChirpError:
                 digests[location] = None
+        return digests
+
+    @staticmethod
+    def _majority_digest(
+        stub: MultiStub, digests: dict[tuple[str, int, str], Optional[str]]
+    ) -> Optional[str]:
+        """Majority by count; ties go to the earliest location's digest."""
         seen = [d for d in digests.values() if d is not None]
-        # majority by count; ties go to the earliest location's digest
-        majority = None
-        if seen:
-            best_count = max(seen.count(d) for d in seen)
-            for location in stub.locations:
-                digest = digests.get(location)
-                if digest is not None and seen.count(digest) == best_count:
-                    majority = digest
-                    break
-        out = {}
-        for location, digest in digests.items():
-            if digest is None:
-                out[location] = "missing"
-            elif digest == majority:
-                out[location] = "ok"
-            else:
-                out[location] = "diverged"
-        return out
+        if not seen:
+            return None
+        best_count = max(seen.count(d) for d in seen)
+        for location in stub.locations:
+            digest = digests.get(location)
+            if digest is not None and seen.count(digest) == best_count:
+                return digest
+        return None
+
+    def read_verified(self, path: str) -> bytes:
+        """Read a file's full contents, verified byte-for-byte.
+
+        The expected digest is the majority of the replicas' *advertised*
+        checksums (as in :meth:`verify`); the bytes actually fetched are
+        then hashed against it before being returned.  The second hash is
+        not redundant: on a content-addressed server the ``checksum`` RPC
+        is an O(1) pointer read, blind to bitrot in the object at rest,
+        so a replica can advertise the majority digest and still serve
+        corrupt bytes.  Such a replica is treated as failed -- recorded
+        in :attr:`suspects` and skipped -- and the read fails over to the
+        next majority replica.  Corrupt bytes are never returned.
+        """
+        path = self._guard_name(path)
+        if self._is_dir(path):
+            raise IsADirectoryError_(path)
+        stub = self._read_stub(path)
+        digests = self._replica_digests(stub)
+        expected = self._majority_digest(stub, digests)
+        if expected is None:
+            raise DoesNotExistError(f"{path}: no replica reachable")
+        last: Exception | None = None
+        for location in stub.locations:
+            if digests.get(location) != expected:
+                continue  # missing or already known to diverge
+            host, port, data_path = location
+            client = self.pool.try_get(host, port)
+            if client is None:
+                continue
+            try:
+                return client.getfile_verified(data_path, expected)
+            except IntegrityError as exc:
+                label = f"{host}:{port}"
+                if label not in self.suspects:
+                    self.suspects.append(label)
+                last = exc
+            except ChirpError as exc:
+                last = exc
+        raise DoesNotExistError(
+            f"{path}: no replica serves bytes matching digest {expected}"
+        ) from last
 
     def heal(self, path: str) -> int:
         """Restore a file to its target replica count; returns copies added.

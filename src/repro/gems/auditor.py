@@ -130,7 +130,12 @@ class Auditor:
     def _check_key(self, record: dict, replica: dict) -> str:
         """Key-comparison audit: compare stored binding to the record's
         checksum without reading the file over the wire."""
-        from repro.util.errors import ChirpError, DoesNotExistError, InvalidRequestError
+        from repro.util.errors import (
+            ChirpError,
+            DoesNotExistError,
+            InvalidRequestError,
+            UnknownError,
+        )
 
         client = self.dsdb.pool.try_get(replica["host"], replica["port"])
         if client is None:
@@ -143,6 +148,10 @@ class Auditor:
             return self.dsdb.verify_replica(record, replica)
         except DoesNotExistError:
             return "missing"
+        except UnknownError:
+            # The server found the entry but could not resolve its key:
+            # a corrupt pointer record, i.e. damage rather than absence.
+            return "damaged"
         except ChirpError:
             return "missing"
         expected = record.get("checksum")

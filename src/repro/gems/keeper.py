@@ -304,6 +304,8 @@ class Keeper:
             "journal_recovered": 0,
             "journal_garbage_collected": 0,
             "servers_admitted": 0,
+            "scrub_reports_ingested": 0,
+            "scrub_replicas_marked": 0,
         }
         self._counters["passes_completed"] = self._restored_passes
         self._lock = threading.Lock()
@@ -440,6 +442,43 @@ class Keeper:
         if tick is not None:
             tick.suspects = sorted(self.suspects)
         return self.suspects
+
+    # -- scrub ingestion ------------------------------------------------
+
+    def ingest_scrub_report(self, endpoint: tuple, report: dict) -> int:
+        """Turn one server's store scrub report into repair work items.
+
+        A content-addressed store's ``scrub()`` walks objects at rest
+        and reports keys whose bytes no longer hash to their name (the
+        only audit that catches bitrot the O(1) ``checksum`` RPC is
+        blind to).  This method closes the loop: every replica on
+        ``endpoint`` whose record checksum is a corrupt or quarantined
+        key is marked ``damaged``, so the next repair pass drops it
+        (:func:`~repro.gems.policy.plan_drops`) and re-replicates from
+        an intact copy.  Returns how many replicas were marked.
+        """
+        host, port = endpoint[0], int(endpoint[1])
+        bad_keys = list(report.get("corrupt", ())) + list(
+            report.get("quarantined", ())
+        )
+        marked = 0
+        for key in dict.fromkeys(bad_keys):
+            for record in self.dsdb.find(checksum=key):
+                for rep in record.get("replicas", []):
+                    if (rep["host"], int(rep["port"])) != (host, port):
+                        continue
+                    if rep.get("state") == "damaged":
+                        continue
+                    self.dsdb.mark_replica(record, rep, "damaged")
+                    marked += 1
+        self._counters["scrub_reports_ingested"] += 1
+        self._counters["scrub_replicas_marked"] += marked
+        if marked:
+            log.info(
+                "scrub report from %s:%d: %d replicas marked damaged",
+                host, port, marked,
+            )
+        return marked
 
     # -- the tick -------------------------------------------------------
 

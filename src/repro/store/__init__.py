@@ -8,6 +8,7 @@ the one factory everything configures through (``ServerConfig.store``,
 from __future__ import annotations
 
 from repro.store.cas import CasStore
+from repro.store.faulty import DiskFaultPlan, DiskFaultScript, FaultyStore
 from repro.store.interface import (
     BlobHandle,
     BlobStore,
@@ -23,6 +24,9 @@ __all__ = [
     "BlobHandle",
     "BlobStore",
     "CasStore",
+    "DiskFaultPlan",
+    "DiskFaultScript",
+    "FaultyStore",
     "HandleReader",
     "HandleWriter",
     "LocalDirStore",
@@ -40,8 +44,13 @@ def make_store(kind: str, root: str, *, sync_meta: bool = True) -> BlobStore:
     """Build a store of the given kind rooted at ``root``.
 
     ``memory`` ignores the root (kept as a label only), so simulations
-    can name stores without touching the disk.
+    can name stores without touching the disk.  A ``faulty+<kind>``
+    prefix wraps the store in a :class:`FaultyStore` with an empty
+    (pass-through) fault plan; chaos harnesses reach the plan through
+    ``server.store.plan``.
     """
+    if kind.startswith("faulty+"):
+        return FaultyStore(make_store(kind[len("faulty+"):], root, sync_meta=sync_meta))
     if kind == "local":
         return LocalDirStore(root, sync_meta=sync_meta)
     if kind == "memory":

@@ -590,17 +590,40 @@ class CasStore(BlobStore):
             self._write_pointer(real, ptr)
 
     def checksum(self, vpath: str) -> str:
-        """O(1): the stored key *is* the checksum (scrub audits bitrot)."""
+        """O(1): the stored key *is* the checksum (scrub audits bitrot).
+
+        Still O(1), but honest about absence: a pointer whose object was
+        quarantined (or otherwise lost) must not keep advertising the
+        old digest -- an auditor comparing checksums would count the
+        replica intact forever.  The content is gone, so this raises
+        DoesNotExist just as reading the file would.
+        """
         real = self._ns(vpath)
         if os.path.isdir(real):
             raise IsADirectoryError_(vpath)
-        return self._read_pointer(real, vpath).key
+        key = self._read_pointer(real, vpath).key
+        if not os.path.exists(self._object_path(key)):
+            raise DoesNotExistError(f"{vpath}: object {key} is missing")
+        return key
 
     # -- capacity -------------------------------------------------------
 
     def used_bytes(self) -> int:
         with self._lock:
             return max(0, self._used)
+
+    def reconcile_usage(self) -> int:
+        """Recompute usage from the object plane (drift repair hook)."""
+        total = 0
+        for dirpath, _dirnames, filenames in os.walk(self.obj_root):
+            for name in filenames:
+                try:
+                    total += os.lstat(os.path.join(dirpath, name)).st_size
+                except OSError:
+                    continue
+        with self._lock:
+            self._used = total
+        return total
 
     def capacity(self) -> tuple[int, int]:
         vfs = os.statvfs(self.root)

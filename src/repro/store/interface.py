@@ -232,6 +232,17 @@ class BlobStore(ABC):
         """(total_bytes, free_bytes) of the underlying resource, used
         when the server has no quota configured."""
 
+    def reconcile_usage(self) -> int:
+        """Recompute ``used_bytes`` from ground truth and return it.
+
+        The incremental counter can drift when an operation fails
+        partway (a ``pwrite`` that hit ENOSPC mid-call wrote *some*
+        bytes); stores that track usage incrementally override this to
+        re-derive the counter from the backing resource.  The default
+        covers stores whose counter cannot drift.
+        """
+        return self.used_bytes()
+
     # -- content-addressed surface (CAS stores only) --------------------
 
     def lookup_key(self, key: str) -> bool:

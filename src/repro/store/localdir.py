@@ -52,16 +52,20 @@ class _OsFdHandle(BlobHandle):
             raise _wrap_os_error(exc) from exc
 
     def pwrite(self, data: bytes, offset: int) -> int:
+        if not self._store.tracking_usage:
+            try:
+                return os.pwrite(self._fd, data, offset)
+            except OSError as exc:
+                raise _wrap_os_error(exc) from exc
+        # Account in a finally so a partial failure (ENOSPC/EIO mid-op
+        # may still have extended the file) cannot skew the counter.
+        before = os.fstat(self._fd).st_size
         try:
-            if self._store.tracking_usage:
-                before = os.fstat(self._fd).st_size
-                written = os.pwrite(self._fd, data, offset)
-                self._store._account(os.fstat(self._fd).st_size - before)
-            else:
-                written = os.pwrite(self._fd, data, offset)
-            return written
+            return os.pwrite(self._fd, data, offset)
         except OSError as exc:
             raise _wrap_os_error(exc) from exc
+        finally:
+            self._account_after(before)
 
     def fsync(self) -> None:
         try:
@@ -76,15 +80,33 @@ class _OsFdHandle(BlobHandle):
             raise _wrap_os_error(exc) from exc
 
     def ftruncate(self, size: int) -> None:
+        if not self._store.tracking_usage:
+            try:
+                os.ftruncate(self._fd, size)
+            except OSError as exc:
+                raise _wrap_os_error(exc) from exc
+            return
+        before = os.fstat(self._fd).st_size
         try:
-            if self._store.tracking_usage:
-                before = os.fstat(self._fd).st_size
-                os.ftruncate(self._fd, size)
-                self._store._account(os.fstat(self._fd).st_size - before)
-            else:
-                os.ftruncate(self._fd, size)
+            os.ftruncate(self._fd, size)
         except OSError as exc:
             raise _wrap_os_error(exc) from exc
+        finally:
+            self._account_after(before)
+
+    def _account_after(self, before: int) -> None:
+        """Charge the *observed* size delta, success or failure.
+
+        When even re-stating the fd fails, the truth is unknowable from
+        here: invalidate the counter so the next quota check re-scans
+        instead of trusting a number that may be wrong.
+        """
+        try:
+            after = os.fstat(self._fd).st_size
+        except OSError:
+            self._store._invalidate_usage()
+        else:
+            self._store._account(after - before)
 
     def close(self) -> None:
         try:
@@ -149,6 +171,16 @@ class LocalDirStore(BlobStore):
         with self._lock:
             if self._used is not None:
                 self._used = max(0, self._used + delta)
+
+    def _invalidate_usage(self) -> None:
+        """Forget the counter; the next ``used_bytes`` re-walks the tree."""
+        with self._lock:
+            self._used = None
+
+    def reconcile_usage(self) -> int:
+        """Recompute usage with a fresh tree walk (drift repair hook)."""
+        self._invalidate_usage()
+        return self.used_bytes()
 
     def _size_if_file(self, real: str) -> int:
         """Size of a regular file or symlink at ``real``, else 0."""

@@ -325,6 +325,21 @@ class MemoryStore(BlobStore):
         with self._lock:
             return self._used
 
+    def reconcile_usage(self) -> int:
+        """Recompute usage by walking the tree (drift repair hook)."""
+        with self._lock:
+            total = 0
+            stack = [self._root_dir]
+            while stack:
+                node = stack.pop()
+                for child in node.entries.values():
+                    if isinstance(child, _Dir):
+                        stack.append(child)
+                    else:
+                        total += len(child.data)
+            self._used = total
+            return total
+
     def capacity(self) -> tuple[int, int]:
         with self._lock:
             return (self.VIRTUAL_CAPACITY, max(0, self.VIRTUAL_CAPACITY - self._used))

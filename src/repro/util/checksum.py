@@ -5,9 +5,15 @@ from __future__ import annotations
 import hashlib
 from typing import BinaryIO
 
-__all__ = ["data_checksum", "file_checksum", "stream_checksum"]
+__all__ = ["data_checksum", "file_checksum", "new_hash", "stream_checksum"]
 
 _ALGORITHM = "sha1"  # matches the vintage of the paper; stable and fast
+
+
+def new_hash():
+    """A fresh hash object of the repo-wide checksum algorithm (for
+    callers that hash incrementally, e.g. verified streaming reads)."""
+    return hashlib.new(_ALGORITHM)
 
 
 def data_checksum(data: bytes) -> str:

@@ -37,6 +37,7 @@ __all__ = [
     "PartialFailureError",
     "TimedOutError",
     "StaleHandleError",
+    "IntegrityError",
     "UnknownError",
     "status_from_exception",
     "error_from_status",
@@ -219,8 +220,26 @@ class UnknownError(ChirpError):
     status = StatusCode.UNKNOWN
 
 
+class IntegrityError(ChirpError):
+    """Fetched bytes do not hash to the expected content digest.
+
+    Raised locally by checksum-verified readers (client, DSDB, replfs);
+    never carried on the wire.  The server that produced the bytes is a
+    *lying* replica -- readers treat this like a replica failure: fail
+    over, mark the replica suspect/damaged, and let repair machinery
+    re-replicate from an intact copy.
+    """
+
+    status = StatusCode.UNKNOWN
+
+
 _ERRNO_TO_STATUS = {
     errno.ENOENT: StatusCode.DOESNT_EXIST,
+    # EIO deliberately maps to UNKNOWN (and UNKNOWN maps back to EIO in
+    # _STATUS_TO_ERRNO): a disk I/O error carries no more protocol
+    # meaning than "the resource failed", and readers must not confuse
+    # it with a policy refusal like NO_SPACE.
+    errno.EIO: StatusCode.UNKNOWN,
     errno.EEXIST: StatusCode.ALREADY_EXISTS,
     errno.EACCES: StatusCode.NOT_AUTHORIZED,
     errno.EPERM: StatusCode.NOT_AUTHORIZED,

@@ -168,10 +168,15 @@ class LineStream:
         """
         remaining = length
         if self._buf:
+            # Consume from the buffer *before* writing: if fobj.write
+            # raises mid-payload (a store fault), the bytes must count
+            # as read off the wire or the caller's drain of the unread
+            # tail leaves them behind and desyncs the stream.
             take = min(len(self._buf), remaining)
-            fobj.write(bytes(self._buf[:take]))
+            chunk = bytes(self._buf[:take])
             del self._buf[:take]
             remaining -= take
+            fobj.write(chunk)
         while remaining > 0:
             chunk = self._recv(min(chunk_size, remaining))
             if not chunk:

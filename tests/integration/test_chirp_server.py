@@ -74,6 +74,41 @@ class TestFileIO:
         assert c.whoami() == "hostname:localhost"  # stream still in sync
         c.close()
 
+    def test_midwrite_store_failure_keeps_stream_in_sync(
+        self, server_factory, credentials
+    ):
+        """A store fault *partway through* the payload must drain the
+        unread tail -- including bytes already sitting in the receive
+        buffer -- or the leftover payload reparses as the next request
+        line and the connection is lost."""
+        import os
+
+        from repro.store import DiskFaultScript
+        from repro.store.faulty import ENOSPC
+
+        from repro.util.wire import pack_line
+
+        kind = os.environ.get("TSS_TEST_STORE", "local")
+        server = server_factory.new(store=f"faulty+{kind}")
+        # max_conns=1: every op below rides the connection we poke raw
+        c = ChirpClient(*server.address, credentials=credentials, max_conns=1)
+        assert c.whoami()
+        server.backend.store.plan.script(
+            DiskFaultScript(op="pwrite", action=ENOSPC)
+        )
+        # One send for line + payload so the server's first recv buffers
+        # the payload alongside the request -- the exact shape that used
+        # to leak buffered bytes past the error drain.
+        payload = b"x" * 256
+        stream = c._stream
+        stream.write(pack_line("putfile", "/torn.bin", 0o644, len(payload)) + payload)
+        status = int(stream.read_tokens()[0])
+        assert status == int(E.StatusCode.NO_SPACE)
+        assert c.whoami()  # stream still in sync
+        server.backend.try_recover(force=True)
+        assert c.putfile("/after.bin", b"y" * 100) == 100
+        c.close()
+
     def test_fsync_and_truncate(self, client):
         fd = client.open("/f", "wc")
         client.pwrite(fd, b"0123456789", 0)

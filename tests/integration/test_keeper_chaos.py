@@ -17,6 +17,7 @@ from __future__ import annotations
 
 import json
 import os
+import random
 import shutil
 
 import pytest
@@ -28,6 +29,7 @@ from repro.core.stubs import unique_data_name
 from repro.db.engine import MetadataDB
 from repro.gems import FixedCountPolicy, Keeper, KeeperConfig
 from repro.gems.recovery import rescan_servers
+from repro.store import DiskFaultPlan
 from repro.transport.deadline import Deadline
 from repro.transport.faults import STALL, FaultPlan, FaultScript, FaultyListener
 from repro.transport.metrics import MetricsRegistry
@@ -81,7 +83,7 @@ def assert_no_half_written_live(dsdb):
             )
 
 
-def save_artifacts(keeper, event_log=None):
+def save_artifacts(keeper, event_log=None, scrub_reports=None):
     out = os.environ.get("KEEPER_SOAK_ARTIFACTS")
     if not out:
         return
@@ -92,6 +94,9 @@ def save_artifacts(keeper, event_log=None):
     if event_log is not None:
         with open(os.path.join(out, "fault-events.log"), "w") as f:
             f.write("\n".join(event_log) + "\n")
+    if scrub_reports is not None:
+        with open(os.path.join(out, "scrub-reports.json"), "w") as f:
+            json.dump(scrub_reports, f, indent=2, sort_keys=True)
 
 
 @pytest.fixture()
@@ -391,6 +396,140 @@ class TestSeededKeeperChaos:
         # Same seed, same workload: the proxy drew the identical fault
         # script for every connection, in order.
         assert first["log"] == second["log"]
+
+
+@pytest.mark.chaos
+class TestSeededBitrotSoak:
+    """At-rest corruption under a live keeper, across store kinds.
+
+    One replica of every record is silently rotted on disk (seeded byte
+    flips through :meth:`FaultyStore.rot_at_rest`).  The stack must then
+    hold three promises at once: no client read ever returns corrupted
+    bytes (checksum-verified reads fail over and mark the replica
+    damaged), the keeper restores the replication factor by dropping and
+    re-replicating every corrupted replica (for CAS stores the damage is
+    surfaced by ``scrub(quarantine=True)`` and fed through
+    ``ingest_scrub_report``), and a rerun with the same seed replays the
+    identical per-server fault event logs.
+    """
+
+    COPIES = 2
+
+    def bitrot_soak(self, seed, server_factory, credentials, state_dir):
+        kind = os.environ.get("TSS_TEST_STORE", "local")
+        servers = [
+            server_factory.new(store=f"faulty+{kind}") for _ in range(4)
+        ]
+        # Reseed each injector by server *index* (never by port: ports
+        # are ephemeral) and log by content digest only, so the event
+        # logs are comparable across reruns.
+        for i, server in enumerate(servers):
+            server.backend.store.plan = DiskFaultPlan(
+                seed=seed + i, log_paths=False
+            )
+        pool = ClientPool(credentials, timeout=5.0, metrics=MetricsRegistry())
+        try:
+            dsdb = make_dsdb(pool, [s.address for s in servers], seed=7)
+            for name, data in PAYLOADS.items():
+                dsdb.ingest(name, data, replicas=self.COPIES)
+
+            # Seeded corruption: one replica of every record rots on
+            # disk, chosen from the record's (placement-ordered, hence
+            # reproducible) replica list.
+            by_address = {s.address: s for s in servers}
+            rng = random.Random(seed)
+            rotted = []
+            for record in sorted(dsdb.find(), key=lambda r: r["name"]):
+                rep = rng.choice(record["replicas"])
+                victim = by_address[(rep["host"], rep["port"])]
+                victim.backend.store.rot_at_rest(rep["path"])
+                rotted.append(record["name"])
+            assert len(rotted) == len(PAYLOADS)
+
+            keeper = make_keeper(dsdb, state_dir, copies=self.COPIES)
+            scrub_reports = {}
+            try:
+                if servers[0].backend.store.supports_cas:
+                    # The O(1) checksum RPC cannot see at-rest rot on a
+                    # CAS server; the byte-level scrub can.  Quarantine
+                    # and feed the reports to the keeper as repair work.
+                    marked = 0
+                    for i, server in enumerate(servers):
+                        report = server.backend.store.scrub(quarantine=True)
+                        scrub_reports[f"server{i}"] = report
+                        marked += keeper.ingest_scrub_report(
+                            server.address, report
+                        )
+                    assert marked == len(rotted)
+
+                # Corrupted bytes never reach a client: verified reads
+                # serve pristine data and mark bad replicas damaged.
+                for name, payload in PAYLOADS.items():
+                    record = dsdb.find(name=name)[0]
+                    assert dsdb.fetch(record, verify=True) == payload
+
+                for _ in range(8):
+                    keeper.run_passes(1)
+                    try:
+                        self.assert_pristine_everywhere(dsdb, pool)
+                        break
+                    except AssertionError:
+                        continue
+                self.assert_pristine_everywhere(dsdb, pool)
+                assert keeper.journal.in_flight() == []
+                # and still: no read returns corrupted bytes
+                for name, payload in PAYLOADS.items():
+                    record = dsdb.find(name=name)[0]
+                    assert dsdb.fetch(record, verify=True) == payload
+                snapshot = keeper.snapshot()
+                assert (
+                    snapshot["repairs_committed"]
+                    + snapshot["scrub_replicas_marked"]
+                ) >= 1
+            finally:
+                save_artifacts(
+                    keeper,
+                    event_log=[
+                        event
+                        for s in servers
+                        for event in s.backend.store.plan.event_log()
+                    ],
+                    scrub_reports=scrub_reports or None,
+                )
+            logs = tuple(
+                s.backend.store.plan.event_log() for s in servers
+            )
+        finally:
+            pool.close()
+        return {"logs": logs, "snapshot": snapshot, "rotted": rotted}
+
+    def assert_pristine_everywhere(self, dsdb, pool):
+        """RF is back and every live replica serves verified bytes."""
+        for record in dsdb.find():
+            live = live_replicas(record)
+            assert len(live) >= self.COPIES, (
+                f"{record['name']}: only {len(live)} live replicas"
+            )
+            for rep in live:
+                client = pool.get(rep["host"], rep["port"])
+                data = client.getfile_verified(
+                    rep["path"], record["checksum"]
+                )
+                assert data == PAYLOADS[record["name"]]
+
+    def test_bitrot_soak_heals_and_replays_identically(
+        self, server_factory, credentials, tmp_path
+    ):
+        first = self.bitrot_soak(
+            KEEPER_SEED, server_factory, credentials, tmp_path / "b1"
+        )
+        second = self.bitrot_soak(
+            KEEPER_SEED, server_factory, credentials, tmp_path / "b2"
+        )
+        # Corruption actually happened, on reproducible servers...
+        assert sum(len(log) for log in first["logs"]) == len(PAYLOADS)
+        # ...and the same seed replayed the identical fault event logs.
+        assert first["logs"] == second["logs"]
 
 
 class TestRescanDeadline:

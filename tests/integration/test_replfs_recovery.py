@@ -134,6 +134,52 @@ class TestReplicatedFS:
         assert set(health.values()) == {"ok"}
         assert replfs.read_file("/f") == b"the true contents!"
 
+    def test_read_verified_survives_diverged_replica(self, replfs, pool):
+        replfs.write_file("/f", b"agree agree")
+        host, port, path = replfs._read_stub("/f").locations[1]
+        pool.get(host, port).putfile(path, b"i diverged!")
+        # the diverged replica advertises a non-majority digest and is
+        # filtered before any byte is fetched
+        assert replfs.read_verified("/f") == b"agree agree"
+
+    def test_read_verified_catches_a_lying_replica(
+        self, server_factory, pool
+    ):
+        """A replica that advertises the majority digest but serves
+        corrupt bytes (the shape of at-rest bitrot behind an O(1)
+        checksum) is caught by hashing the fetched bytes, marked
+        suspect, and failed over."""
+        from repro.store import DiskFaultScript
+        from repro.store.faulty import BITROT
+
+        kind = os.environ.get("TSS_TEST_STORE", "local")
+        servers = [
+            server_factory.new(store=f"faulty+{kind}") for _ in range(3)
+        ]
+        dir_server = server_factory.new()
+        dir_client = pool.get(*dir_server.address)
+        dir_client.mkdir("/rv")
+        for s in servers:
+            c = pool.get(*s.address)
+            c.mkdir("/tssdata")
+            c.mkdir("/tssdata/rv")
+        meta = ChirpMetadataStore(dir_client, "/rv", FAST)
+        fs = ReplicatedFS(
+            meta, pool, [s.address for s in servers], "/tssdata/rv",
+            copies=2, placement=RoundRobinPlacement(seed=3), policy=FAST,
+        )
+        payload = b"verified payload " * 50
+        fs.write_file("/f", payload)
+        host, port, path = fs._read_stub("/f").locations[0]
+        victim = next(s for s in servers if s.address == (host, port))
+        # rot in flight on the preferred replica's next read of this
+        # file; its *advertised* checksum stays the majority digest
+        victim.backend.store.plan.script(
+            DiskFaultScript(op="pread", action=BITROT, path=path)
+        )
+        assert fs.read_verified("/f") == payload
+        assert fs.suspects == [f"{host}:{port}"]
+
     def test_unlink_removes_every_replica(self, replfs, pool):
         replfs.write_file("/f", b"x")
         locations = replfs._read_stub("/f").locations

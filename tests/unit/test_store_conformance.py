@@ -3,9 +3,11 @@
 Every test in ``TestStoreConformance`` runs against the local, memory
 and CAS stores through the same :class:`~repro.chirp.backend.Backend`
 the server uses -- the executable form of the paper's claim that the
-abstraction is independent of the resource serving it.  CAS-specific
-invariants (dedup refcounts, immutability, GC, scrub) follow in their
-own class.
+abstraction is independent of the resource serving it.  Each store is
+also exercised wrapped in the disk-fault injector with an empty fault
+plan (``faulty+<kind>``), pinning down that the decorator is fully
+transparent when no fault fires.  CAS-specific invariants (dedup
+refcounts, immutability, GC, scrub) follow in their own class.
 """
 
 from __future__ import annotations
@@ -25,6 +27,9 @@ from repro.util.checksum import data_checksum
 OWNER = f"unix:{getpass.getuser()}"
 
 STORE_KINDS = ("local", "memory", "cas")
+# The same battery over FaultyStore(plan with no faults) wrapping each
+# store: the injector must be invisible until a fault is scripted.
+ALL_KINDS = STORE_KINDS + tuple("faulty+" + kind for kind in STORE_KINDS)
 
 
 def _make_backend(kind: str, tmp_path, **kwargs) -> Backend:
@@ -33,7 +38,7 @@ def _make_backend(kind: str, tmp_path, **kwargs) -> Backend:
     return Backend(make_store(kind, str(root)), OWNER, **kwargs)
 
 
-@pytest.fixture(params=STORE_KINDS)
+@pytest.fixture(params=ALL_KINDS)
 def backend(request, tmp_path) -> Backend:
     return _make_backend(request.param, tmp_path)
 
@@ -223,7 +228,7 @@ class TestStoreConformance:
 
 
 class TestQuotaConformance:
-    @pytest.fixture(params=STORE_KINDS)
+    @pytest.fixture(params=ALL_KINDS)
     def quota_backend(self, request, tmp_path) -> Backend:
         return _make_backend(request.param, tmp_path, quota_bytes=10_000)
 
