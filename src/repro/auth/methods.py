@@ -402,6 +402,13 @@ def authenticate_client(stream: LineStream, creds: ClientCredentials) -> str:
         reply = stream.read_tokens()
         if reply and reply[0] == "refused":
             continue
+        if reply:
+            # Admission control answers a fresh connection with a bare
+            # status line (e.g. ``-10 retry_after_ms=250``) before ever
+            # reading the auth line.  Surface it as the matching
+            # ChirpError (BusyError carries the retry-after hint) so the
+            # transport can back off instead of reporting auth failure.
+            _raise_if_refusal_status(reply)
         if not reply or reply[0] != "proceed":
             raise AuthFailed(f"unexpected server reply {reply!r}")
         ok = _CLIENT_DIALOGUES[method](stream, creds)
@@ -412,6 +419,25 @@ def authenticate_client(stream: LineStream, creds: ClientCredentials) -> str:
     stream.write_line("auth", "done")
     final = stream.read_tokens()
     raise AuthFailed("all authentication methods failed")
+
+
+def _raise_if_refusal_status(reply: list[str]) -> None:
+    """Raise the ChirpError for a negative-status line mid-handshake.
+
+    Handshake replies are words (``proceed``, ``refused``); a leading
+    negative integer is a protocol-level refusal from a server that
+    declined the connection outright.  Old clients (without this check)
+    fall through to a clean ``AuthFailed`` instead -- the refusal is
+    v1-compatible.
+    """
+    try:
+        status = int(reply[0])
+    except ValueError:
+        return
+    if status < 0:
+        from repro.util.errors import error_from_status
+
+        raise error_from_status(status, reply[1] if len(reply) > 1 else "")
 
 
 def _client_hostname(stream: LineStream, creds: ClientCredentials) -> bool:

@@ -4,10 +4,9 @@ from __future__ import annotations
 
 import argparse
 import logging
-import signal
-import threading
 
 from repro.catalog.server import CatalogServer, DEFAULT_LIFETIME
+from repro.util.signals import GracefulSignals
 
 __all__ = ["main"]
 
@@ -27,11 +26,12 @@ def main(argv: list[str] | None = None) -> int:
     )
     catalog = CatalogServer(args.host, args.port, lifetime=args.lifetime)
     catalog.start()
-    print(f"tss-catalog: listening on {catalog.address[0]}:{catalog.address[1]}")
-    stop = threading.Event()
-    signal.signal(signal.SIGINT, lambda *_: stop.set())
-    signal.signal(signal.SIGTERM, lambda *_: stop.set())
-    stop.wait()
+    print(
+        f"tss-catalog: listening on {catalog.address[0]}:{catalog.address[1]}",
+        flush=True,
+    )
+    signals = GracefulSignals().install()
+    signals.wait()
     catalog.stop()
     return 0
 

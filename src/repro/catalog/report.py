@@ -27,6 +27,9 @@ class ServerReport:
     total_bytes: int = 0
     free_bytes: int = 0
     root_acl: str = ""
+    #: Server is in graceful drain: finishing in-flight work, refusing
+    #: new work with BUSY.  Placement and repair must skip it.
+    draining: bool = False
     uptime: float = 0.0
     report_time: float = 0.0
     received_at: float = 0.0
@@ -72,4 +75,6 @@ class ServerReport:
             f"free     = {self.free_bytes}",
             f"uptime   = {self.uptime:.0f}",
         ]
+        if self.draining:
+            lines.append("draining = true")
         return "\n".join(lines) + "\n"

@@ -50,6 +50,7 @@ from repro.transport.metrics import MetricsRegistry
 from repro.util.checksum import data_checksum
 from repro.util.errors import (
     BadFileDescriptorError,
+    BusyError,
     ChirpError,
     DisconnectedError,
     DoesNotExistError,
@@ -191,12 +192,50 @@ class ChirpClient:
     # -- RPC plumbing -------------------------------------------------------
 
     def _stateless(self, op):
-        """Run one exchange on any available connection."""
-        conn = self.endpoint.checkout()
-        try:
-            return op(conn)
-        finally:
-            self.endpoint.checkin(conn)
+        """Run one exchange on any available connection.
+
+        A ``BUSY`` refusal (admission control or a draining server) is
+        retried here with the server's retry-after hint as the backoff,
+        falling back to the endpoint policy's schedule when the refusal
+        carries none.  The connection is checked in *before* sleeping --
+        it is perfectly healthy, the server just declined the work -- so
+        the breaker never moves and the pool is not held hostage.
+
+        A session whose every connection has died (the server was
+        restarted under us) is *redialed* before the exchange: stateless
+        ops carry no per-fd state, so there is nothing to recover beyond
+        the TCP channel itself.  Without this, a long-lived client (the
+        keeper's repair pool, most painfully) stays wedged on a dead
+        socket forever after its server reboots.  A disconnect *during*
+        the exchange still propagates -- retrying a possibly-applied
+        operation is the caller's policy decision, as before.
+        """
+        policy = self.endpoint.policy
+        delays = None
+        while True:
+            try:
+                conn = self.endpoint.checkout()
+            except DisconnectedError:
+                # Every connection is gone; dial afresh (or fail with the
+                # dial's own error -- breaker-gated, so a known-sick
+                # server refuses instantly rather than paying a timeout).
+                self.endpoint.ensure_connected()
+                conn = self.endpoint.checkout()
+            busy: BusyError | None = None
+            try:
+                return op(conn)
+            except BusyError as exc:
+                busy = exc
+            finally:
+                self.endpoint.checkin(conn)
+            if delays is None:
+                delays = policy.delays()
+            delay = next(delays, None)
+            if delay is None:
+                raise busy
+            if busy.retry_after_s is not None:
+                delay = min(busy.retry_after_s, policy.max_delay)
+            policy.clock.sleep(delay)
 
     def _fd_entry(self, fd: int) -> tuple[Connection, int, str]:
         """Route a virtual fd to its owning connection (and server path)."""

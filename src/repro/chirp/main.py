@@ -15,11 +15,10 @@ from __future__ import annotations
 import argparse
 import getpass
 import logging
-import signal
-import threading
 
 from repro.auth.methods import AuthContext
 from repro.chirp.server import FileServer, ServerConfig
+from repro.util.signals import GracefulSignals
 
 __all__ = ["main", "build_parser"]
 
@@ -93,6 +92,38 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="SECONDS",
         help="close connections silent for this long (default: never)",
     )
+    parser.add_argument(
+        "--max-conns",
+        type=int,
+        default=None,
+        metavar="N",
+        help="admission control: serve at most N concurrent connections; "
+        "excess connections get a BUSY refusal instead of a thread "
+        "(default: unbounded)",
+    )
+    parser.add_argument(
+        "--max-inflight-per-subject",
+        type=int,
+        default=None,
+        metavar="N",
+        help="refuse a subject's requests past N concurrently in flight "
+        "(default: unbounded)",
+    )
+    parser.add_argument(
+        "--drain-timeout",
+        type=float,
+        default=10.0,
+        metavar="SECONDS",
+        help="on SIGTERM, wait this long for in-flight requests before "
+        "closing (a second SIGTERM exits immediately)",
+    )
+    parser.add_argument(
+        "--busy-retry-ms",
+        type=int,
+        default=250,
+        metavar="MS",
+        help="retry-after hint carried in BUSY refusals",
+    )
     parser.add_argument("--verbose", action="store_true")
     return parser
 
@@ -122,15 +153,23 @@ def main(argv: list[str] | None = None) -> int:
         store=args.store,
         eio_degrade_threshold=args.eio_degrade_threshold,
         recovery_probe_interval=args.recovery_probe_interval,
+        max_conns=args.max_conns,
+        max_inflight_per_subject=args.max_inflight_per_subject,
+        drain_timeout=args.drain_timeout,
+        busy_retry_ms=args.busy_retry_ms,
     )
     server = FileServer(config)
     server.start()
-    print(f"tss-server: exporting {args.root} on {server.address[0]}:{server.address[1]}")
-    stop = threading.Event()
-    signal.signal(signal.SIGINT, lambda *_: stop.set())
-    signal.signal(signal.SIGTERM, lambda *_: stop.set())
-    stop.wait()
-    server.stop()
+    print(
+        f"tss-server: exporting {args.root} on "
+        f"{server.address[0]}:{server.address[1]}",
+        flush=True,
+    )
+    signals = GracefulSignals().install()
+    signals.wait()
+    # Graceful drain: advertise draining, finish in-flight requests up
+    # to the timeout, then close.  drain() calls stop() itself.
+    server.drain(args.drain_timeout)
     return 0
 
 

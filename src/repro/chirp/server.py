@@ -34,6 +34,7 @@ from repro.util.errors import (
     DisconnectedError,
     InvalidRequestError,
     StatusCode,
+    busy_message,
     status_from_exception,
 )
 from repro.util.wire import LineStream, pack_line
@@ -86,6 +87,23 @@ class ServerConfig:
     eio_degrade_threshold: int = 3
     #: Minimum seconds between degraded-mode recovery probes.
     recovery_probe_interval: float = 5.0
+    #: Admission control: accept at most this many concurrent
+    #: connections (``None`` = unbounded, the historical behaviour).
+    #: Connections past the cap are answered with one ``BUSY`` status
+    #: line and closed -- no worker thread, no auth, no fd table -- so
+    #: a connection flood costs the server one tiny write per refusal.
+    max_conns: int | None = None
+    #: Per-subject in-flight request cap (``None`` = unbounded).  A
+    #: subject already running this many requests across its
+    #: connections gets ``BUSY`` on the next one instead of queueing.
+    max_inflight_per_subject: int | None = None
+    #: How long :meth:`FileServer.drain` waits for in-flight requests
+    #: before closing anyway.
+    drain_timeout: float = 10.0
+    #: The backoff hint (milliseconds) embedded in ``BUSY`` refusals
+    #: caused by saturation; drain refusals hint the remaining drain
+    #: window instead.
+    busy_retry_ms: int = 250
 
 
 class _CountingWriter:
@@ -169,6 +187,7 @@ class FileServer:
         if config.metrics is not None:
             config.metrics.attach_section("store", self.store)
             config.metrics.attach_section("volume", self.backend)
+            config.metrics.attach_section("server", self)
         self._listener: socket.socket | None = None
         self._threads: list[threading.Thread] = []
         self._conn_socks: set[socket.socket] = set()
@@ -181,12 +200,27 @@ class FileServer:
         self._stop = threading.Event()
         self._started_at = 0.0
         self.address: tuple[str, int] = (config.host, config.port)
+        # Lifecycle / admission state.  One lock guards the in-flight
+        # accounting so the drain wait and the per-request admission
+        # check can never race past each other: a request is either
+        # admitted (counted, and drain waits for it) or refused.
+        self._flow_lock = threading.Lock()
+        self._idle_cv = threading.Condition(self._flow_lock)
+        self._draining = False
+        self._drain_deadline = 0.0
+        self._inflight = 0
+        self._inflight_by_subject: dict[str, int] = {}
+        self.shed_connections = 0
+        self.shed_requests = 0
+        self.drain_refusals = 0
+        self.janitor_swept = 0
 
     # -- lifecycle ------------------------------------------------------
 
     def start(self) -> "FileServer":
         if self._listener is not None:
             raise RuntimeError("server already started")
+        self._run_janitor()
         sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
         sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
         sock.bind((self.config.host, self.config.port))
@@ -216,6 +250,60 @@ class FileServer:
             self._threads.append(reaper)
         log.info("file server %s listening on %s", self.name, self.address)
         return self
+
+    def _run_janitor(self) -> None:
+        """Crash janitor: sweep staging files a dead predecessor left.
+
+        A SIGKILL mid-write leaks the store's private staging files (CAS
+        spool/tmp objects, LocalDirStore rename staging) forever; they
+        occupy disk but belong to no namespace entry.  Sweeping happens
+        before the listener opens so no request ever races the sweep,
+        and usage is reconciled afterwards so ``used_bytes`` (and hence
+        quota and statfs) is correct after a crash.
+        """
+        try:
+            swept = self.store.janitor()
+        except (ChirpError, OSError) as exc:  # never block boot on cleanup
+            log.warning("boot janitor failed: %s", exc)
+            return
+        self.janitor_swept = swept
+        if swept:
+            log.info("boot janitor swept %d orphaned staging file(s)", swept)
+            try:
+                self.store.reconcile_usage()
+            except (ChirpError, OSError) as exc:
+                log.warning("post-janitor usage reconcile failed: %s", exc)
+
+    def drain(self, timeout: float | None = None) -> bool:
+        """Graceful shutdown: refuse new work, finish in-flight, stop.
+
+        Flips the server to *draining* (advertised immediately to the
+        catalogs), sheds new connections and new requests with ``BUSY``,
+        waits up to ``timeout`` (default ``config.drain_timeout``) for
+        every in-flight request to write its status line, then closes.
+        Returns ``True`` when all in-flight work finished inside the
+        window -- an acknowledged op is never dropped by a clean drain.
+        """
+        if timeout is None:
+            timeout = self.config.drain_timeout
+        with self._flow_lock:
+            first = not self._draining
+            self._draining = True
+            self._drain_deadline = time.monotonic() + timeout
+        if first:
+            log.info("server %s draining (timeout %.1fs)", self.name, timeout)
+            try:
+                self.report_now()
+            except OSError:
+                pass
+        with self._idle_cv:
+            drained = self._idle_cv.wait_for(lambda: self._inflight == 0, timeout)
+        self.stop()
+        return drained
+
+    @property
+    def draining(self) -> bool:
+        return self._draining
 
     def stop(self) -> None:
         self._stop.set()
@@ -262,6 +350,10 @@ class FileServer:
             except OSError:
                 return  # listener closed
             conn.settimeout(None)
+            refusal = self._admit_connection()
+            if refusal is not None:
+                self._refuse_connection(conn, addr, refusal)
+                continue
             with self._conn_lock:
                 self._conn_socks.add(conn)
                 self._activity[conn] = time.monotonic()
@@ -272,6 +364,116 @@ class FileServer:
                 daemon=True,
             )
             t.start()
+
+    def _admit_connection(self) -> tuple[str, int] | None:
+        """Decide whether a fresh connection gets a worker thread.
+
+        Returns ``None`` to admit, or ``(reason, retry_after_ms)`` to
+        shed.  Shedding is deterministic: connections are admitted in
+        accept order until the cap, everything past it is refused.
+        """
+        with self._flow_lock:
+            if self._draining:
+                self.drain_refusals += 1
+                return ("draining", self._drain_hint_ms_locked())
+        cap = self.config.max_conns
+        if cap is not None:
+            with self._conn_lock:
+                if len(self._conn_socks) >= cap:
+                    self.shed_connections += 1
+                    return ("server at max-conns", self.config.busy_retry_ms)
+        return None
+
+    def _refuse_connection(
+        self, sock: socket.socket, addr, refusal: tuple[str, int]
+    ) -> None:
+        """Answer a shed connection with one BUSY line and close it.
+
+        Runs inline in the accept thread: the refusal is a few dozen
+        bytes, fits any socket send buffer, and carries a short timeout,
+        so a flood of connections costs one bounded write each instead
+        of a thread apiece.  The client has not been read from -- the
+        protocol has the client speak first, so its auth line simply
+        dies with the socket and the refusal line is the first (and
+        only) thing it reads.
+        """
+        reason, retry_ms = refusal
+        log.debug("shedding connection from %s: %s", addr, reason)
+        try:
+            sock.settimeout(0.5)
+            sock.sendall(pack_line(int(StatusCode.BUSY), busy_message(retry_ms, reason)))
+        except OSError:
+            pass
+        finally:
+            try:
+                sock.close()
+            except OSError:
+                pass
+
+    def _drain_hint_ms_locked(self) -> int:
+        """Backoff hint for drain refusals: the remaining drain window.
+
+        A client retrying after that long will find either a dead
+        address (fail over) or a restarted, non-draining server.
+        """
+        remaining = max(0.0, self._drain_deadline - time.monotonic())
+        return int(remaining * 1000) + self.config.busy_retry_ms
+
+    def _begin_request(self, subject: str) -> tuple[str, int] | None:
+        """Admit or refuse one request; admitted requests are counted.
+
+        The check and the count are atomic under ``_flow_lock``, so once
+        drain has observed ``_inflight == 0`` no new request can slip
+        in: it either incremented the gauge before the observation (and
+        drain waited for it) or it sees ``_draining`` and is refused.
+        """
+        with self._flow_lock:
+            if self._draining or self._stop.is_set():
+                self.drain_refusals += 1
+                return ("draining", self._drain_hint_ms_locked())
+            cap = self.config.max_inflight_per_subject
+            if cap is not None and self._inflight_by_subject.get(subject, 0) >= cap:
+                self.shed_requests += 1
+                return ("subject at in-flight cap", self.config.busy_retry_ms)
+            self._inflight += 1
+            self._inflight_by_subject[subject] = (
+                self._inflight_by_subject.get(subject, 0) + 1
+            )
+            return None
+
+    def _end_request(self, subject: str) -> None:
+        with self._idle_cv:
+            self._inflight -= 1
+            left = self._inflight_by_subject.get(subject, 1) - 1
+            if left <= 0:
+                self._inflight_by_subject.pop(subject, None)
+            else:
+                self._inflight_by_subject[subject] = left
+            if self._inflight == 0:
+                self._idle_cv.notify_all()
+
+    def _refuse_request(
+        self, conn: _Connection, tokens: list[str], refusal: tuple[str, int]
+    ) -> None:
+        """Refuse one request with BUSY, keeping the stream in sync.
+
+        Payload-bearing verbs state their payload length in the request
+        line; the payload is already on the wire, so it must be drained
+        before the status line or the next request would be parsed out
+        of the middle of it.
+        """
+        reason, retry_ms = refusal
+        try:
+            payload = 0
+            if tokens[0] == "pwrite" and len(tokens) >= 3:
+                payload = int(tokens[2])
+            elif tokens[0] == "putfile" and len(tokens) >= 4:
+                payload = int(tokens[3])
+            if payload > 0:
+                self._drain(conn.stream, payload)
+        except ValueError:
+            pass
+        conn.stream.write_line(int(StatusCode.BUSY), busy_message(retry_ms, reason))
 
     def _serve_connection(self, sock: socket.socket, addr) -> None:
         sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
@@ -287,7 +489,18 @@ class FileServer:
                 self._touch(sock)
                 if not tokens:
                     continue
-                self._dispatch(conn, tokens)
+                refusal = self._begin_request(subject)
+                if refusal is not None:
+                    self._refuse_request(conn, tokens, refusal)
+                    if refusal[0] == "draining":
+                        # The session is over; closing prompts the
+                        # client onto its reconnect/failover path.
+                        break
+                    continue
+                try:
+                    self._dispatch(conn, tokens)
+                finally:
+                    self._end_request(subject)
         except (DisconnectedError, AuthFailed):
             pass
         except Exception:  # pragma: no cover - diagnostic guard
@@ -551,6 +764,29 @@ class FileServer:
         digest = self.backend.checksum(conn.subject, args[0])
         conn.stream.write_line(0, digest)
 
+    # -- metrics ----------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """Lifecycle metrics, published as the ``server`` section."""
+        with self._flow_lock:
+            inflight = self._inflight
+            subjects = len(self._inflight_by_subject)
+            draining = self._draining
+        with self._conn_lock:
+            connections = len(self._conn_socks)
+        return {
+            "draining": draining,
+            "connections": connections,
+            "max_conns": self.config.max_conns,
+            "in_flight": inflight,
+            "in_flight_subjects": subjects,
+            "shed_connections": self.shed_connections,
+            "shed_requests": self.shed_requests,
+            "drain_refusals": self.drain_refusals,
+            "reaped_connections": self.reaped_connections,
+            "janitor_swept": self.janitor_swept,
+        }
+
     # -- catalog reporting --------------------------------------------------
 
     def build_report(self) -> dict:
@@ -569,6 +805,7 @@ class FileServer:
             "root_acl": self.backend.root_acl_text(),
             "read_only": self.backend.read_only,
             "read_only_reason": self.backend.read_only_reason,
+            "draining": self._draining,
             "uptime": time.time() - self._started_at,
             "report_time": time.time(),
         }

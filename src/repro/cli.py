@@ -170,12 +170,19 @@ def _cmd_store_scrub(adapter: Adapter, args) -> int:
 
 
 def _cmd_keeper(adapter: Adapter, args) -> int:
+    import logging
+
     from repro.catalog.client import CatalogClient
     from repro.core.dsdb import DSDB
     from repro.db.client import DatabaseClient
     from repro.gems.keeper import Keeper, KeeperConfig
     from repro.gems.policy import BudgetGreedyPolicy, FixedCountPolicy
 
+    if args.verbose:
+        logging.basicConfig(
+            level=logging.INFO,
+            format="%(asctime)s %(name)s %(levelname)s %(message)s",
+        )
     db_host, _, db_port = args.db.rpartition(":")
     servers = []
     for spec in args.server:
@@ -231,16 +238,14 @@ def _cmd_keeper(adapter: Adapter, args) -> int:
                   f"{snap['repairs_aborted']} aborted)")
             keeper.journal.close()
             return 0
-        import signal
-        import threading
+        from repro.util.signals import GracefulSignals
 
         keeper.start()
         print(f"tss keeper: guarding volume {args.volume!r} "
-              f"({len(servers)} servers); journal in {args.state_dir}")
-        stop = threading.Event()
-        signal.signal(signal.SIGINT, lambda *_: stop.set())
-        signal.signal(signal.SIGTERM, lambda *_: stop.set())
-        stop.wait()
+              f"({len(servers)} servers); journal in {args.state_dir}",
+              flush=True)
+        signals = GracefulSignals().install()
+        signals.wait()
         keeper.stop()
         return 0
     finally:
@@ -354,6 +359,8 @@ def build_parser() -> argparse.ArgumentParser:
                    help="replica audit strategy: 'key' compares content-"
                    "address keys in O(1) on CAS servers (falls back to "
                    "bytes elsewhere)")
+    p.add_argument("--verbose", action="store_true",
+                   help="log keeper activity (audits, repairs, membership)")
     p.set_defaults(fn=_cmd_keeper)
 
     p = sub.add_parser("store", help="inspect or repair a server's store")

@@ -13,6 +13,9 @@ system maintains::
       "size": 1048576,  "checksum": "…",
       "replicas": [ {"host": h, "port": p, "path": "/tssdata/vol/file-…",
                      "state": "ok"|"damaged"|"missing", …}, … ],
+
+(``verify_replica`` can additionally answer ``unreachable`` -- an
+inconclusive verdict that is never written into a replica's state.)
     }
 
 Replication, auditing, and repair policies live in :mod:`repro.gems`;
@@ -140,9 +143,30 @@ class DSDB:
     def _place_bytes(
         self, data_or_file: Union[bytes, BinaryIO], exclude: frozenset
     ) -> Replica:
-        """Store one copy on a fresh server; returns the replica descriptor."""
-        endpoint = tuple(self.placement.choose(self.servers, exclude))
-        return self._store_bytes(endpoint, data_or_file)
+        """Store one copy on a fresh server; returns the replica descriptor.
+
+        Write-path failure coherence, the mirror of :meth:`fetch`: a
+        server that refuses the copy (down, draining, busy, circuit
+        open) is excluded and the placement re-chosen, so one dead
+        machine never fails a write the rest of the cluster could
+        accept.  Raises the last transport error only once every
+        candidate server has refused; raises ``LookupError`` when
+        ``exclude`` already covered everything.
+        """
+        tried = set(exclude)
+        last: Optional[ChirpError] = None
+        while True:
+            try:
+                endpoint = tuple(self.placement.choose(self.servers, frozenset(tried)))
+            except LookupError:
+                if last is None:
+                    raise
+                raise last
+            try:
+                return self._store_bytes(endpoint, data_or_file)
+            except ChirpError as exc:
+                last = exc
+                tried.add(endpoint)
 
     def _store_bytes(
         self,
@@ -220,6 +244,13 @@ class DSDB:
                     rep = self._place_bytes(source, frozenset(exclude))
                 except LookupError:
                     break  # fewer servers than requested copies
+                except ChirpError:
+                    # Extra copies are best-effort: the write was acked
+                    # the moment one copy was durable, and the keeper
+                    # restores the replication factor once servers
+                    # return (GEMS: the replicator process works to
+                    # replicate).
+                    break
                 record["replicas"].append(rep)
                 exclude.add((rep["host"], rep["port"]))
             if len(record["replicas"]) > 1:
@@ -336,16 +367,26 @@ class DSDB:
     # ------------------------------------------------------------------
 
     def verify_replica(self, record: dict, replica: Replica) -> str:
-        """Check one replica: returns ``ok``, ``damaged`` or ``missing``."""
+        """Check one replica: ``ok``, ``damaged``, ``missing`` or
+        ``unreachable``.
+
+        ``missing`` and ``damaged`` are *authoritative*: the server
+        answered and either denied having the file or served the wrong
+        digest.  ``unreachable`` is *inconclusive*: the server could not
+        be asked (down, draining, stalled, circuit open) -- the replica
+        may be perfectly intact, so callers must not treat it as lost.
+        Conflating the two is how an auditor turns a rebooting server
+        into data loss.
+        """
         client = self.pool.try_get(replica["host"], replica["port"])
         if client is None:
-            return "missing"
+            return "unreachable"
         try:
             digest = client.checksum(replica["path"])
         except DoesNotExistError:
             return "missing"
         except ChirpError:
-            return "missing"
+            return "unreachable"
         return "ok" if digest == record["checksum"] else "damaged"
 
     def copy_replica(

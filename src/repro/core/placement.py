@@ -9,6 +9,7 @@ from __future__ import annotations
 
 import random
 import threading
+import time
 from abc import ABC, abstractmethod
 from typing import Optional, Sequence
 
@@ -19,6 +20,7 @@ __all__ = [
     "RoundRobinPlacement",
     "RandomPlacement",
     "MostFreePlacement",
+    "DrainingServerView",
 ]
 
 Endpoint = tuple  # (host, port)
@@ -70,6 +72,40 @@ class RandomPlacement(PlacementPolicy):
         eligible = self._eligible(servers, exclude)
         with self._lock:
             return self._rng.choice(eligible)
+
+
+class DrainingServerView:
+    """A cached view of catalog-advertised draining servers.
+
+    Plugs into ``StubFilesystem(avoid_servers=...)`` so new files are
+    not placed on servers that are gracefully shutting down.  The view
+    is advisory and must never break placement: catalog queries are
+    TTL-cached, and on a failed query the last known view (possibly
+    empty) is served rather than raising.
+    """
+
+    def __init__(self, catalog, ttl: float = 5.0, clock=time.monotonic):
+        self.catalog = catalog
+        self.ttl = ttl
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._cached: frozenset = frozenset()
+        self._fetched_at: float | None = None
+
+    def __call__(self) -> frozenset:
+        with self._lock:
+            now = self._clock()
+            if self._fetched_at is not None and now - self._fetched_at < self.ttl:
+                return self._cached
+            reports = self.catalog.try_discover()
+            self._fetched_at = now
+            if reports is not None:
+                self._cached = frozenset(
+                    (r.host, int(r.port))
+                    for r in reports
+                    if r.type == "chirp" and getattr(r, "draining", False)
+                )
+            return self._cached
 
 
 class MostFreePlacement(PlacementPolicy):

@@ -23,7 +23,7 @@ from __future__ import annotations
 import itertools
 import posixpath
 from dataclasses import replace
-from typing import Optional, Sequence
+from typing import Callable, Iterable, Optional, Sequence
 
 from repro.cache.handle import CachedFileHandle
 from repro.cache.manager import CacheManager, file_key
@@ -76,6 +76,7 @@ class StubFilesystem(Filesystem):
         policy: Optional[RetryPolicy] = None,
         sync_writes: bool = False,
         cache: Optional[CacheManager] = None,
+        avoid_servers: Optional[Callable[[], Iterable[tuple[str, int]]]] = None,
     ):
         if not servers:
             raise ValueError("a stub filesystem needs at least one data server")
@@ -87,6 +88,10 @@ class StubFilesystem(Filesystem):
         self.policy = policy or RetryPolicy()
         self.sync_writes = sync_writes
         self.cache = cache
+        # Advisory placement exclusions (e.g. servers advertising drain
+        # in the catalog; see DrainingServerView).  Consulted per create;
+        # the callable must be cheap and must not raise.
+        self.avoid_servers = avoid_servers
         self._cache_host = f"stubfs{next(_stubfs_ns)}"
 
     # ------------------------------------------------------------------
@@ -184,12 +189,28 @@ class StubFilesystem(Filesystem):
                     self.policy.clock.sleep(0.01)
         raise DoesNotExistError(f"{path}: dangling stub (no data file)")
 
+    def _excluded(self, dead: set[tuple[str, int]]) -> frozenset:
+        """Placement exclusions: observed-dead plus advisory avoidance.
+
+        The advisory set (draining servers) is dropped when honoring it
+        would leave nothing to place on -- a write landing on a draining
+        server beats a write failing outright.
+        """
+        if self.avoid_servers is None:
+            return frozenset(dead)
+        avoid = dead | {(h, int(p)) for h, p in self.avoid_servers()}
+        if all(tuple(ep) in avoid for ep in self.servers):
+            return frozenset(dead)
+        return frozenset(avoid)
+
     def _create_or_open(self, path: str, flags: OpenFlags, mode: int) -> FileHandle:
         dead: set[tuple[str, int]] = set()
         for _ in range(_CREATE_ATTEMPTS):
             # Step 1: choose a server and generate a unique data name.
             try:
-                endpoint = tuple(self.placement.choose(self.servers, frozenset(dead)))
+                endpoint = tuple(
+                    self.placement.choose(self.servers, self._excluded(dead))
+                )
             except LookupError:
                 raise DisconnectedError(f"{path}: no data server for placement") from None
             data_path = self.data_dir + "/" + unique_data_name()

@@ -183,3 +183,45 @@ class DatabaseServer:
             q = Query.from_json_obj(cmd.get("query", []))
             return {"count": self.db.count(q)}
         raise ValueError(f"unknown op {op!r}")
+
+
+def main(argv: list[str] | None = None) -> int:
+    """``python -m repro.db.server``: run a standalone database server.
+
+    Used by the process-chaos harness (and anyone wanting the metadata
+    database as its own daemon): the log under ``--path`` makes state
+    survive SIGKILL, so a restarted process resumes where the dead one
+    stopped.
+    """
+    import argparse
+
+    from repro.util.signals import GracefulSignals
+
+    parser = argparse.ArgumentParser(
+        prog="tss-db", description="Run a TSS metadata database server."
+    )
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=0)
+    parser.add_argument(
+        "--path", default=None,
+        help="directory for the durable log (default: in-memory only)",
+    )
+    parser.add_argument("--verbose", action="store_true")
+    args = parser.parse_args(argv)
+    logging.basicConfig(
+        level=logging.DEBUG if args.verbose else logging.INFO,
+        format="%(asctime)s %(name)s %(levelname)s %(message)s",
+    )
+    db = MetadataDB(args.path)
+    server = DatabaseServer(db, DatabaseConfig(host=args.host, port=args.port))
+    server.start()
+    print(f"tss-db: listening on {server.address[0]}:{server.address[1]}", flush=True)
+    signals = GracefulSignals().install()
+    signals.wait()
+    server.stop()
+    db.close()
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

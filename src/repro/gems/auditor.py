@@ -22,8 +22,18 @@ class AuditReport:
     healthy: int = 0
     missing: int = 0
     damaged: int = 0
+    #: replicas whose server could not be asked -- an inconclusive
+    #: verdict, not a problem: the state in the record is left alone.
+    unreachable: int = 0
     #: record ids with zero live replicas after the audit -- data loss.
     lost_records: list[str] = field(default_factory=list)
+    #: endpoints that failed to answer any probe this pass, and endpoints
+    #: that gave at least one authoritative verdict.  The keeper's
+    #: dead-server hysteresis consumes these: only an endpoint that
+    #: stays on the unreachable side for several full passes is declared
+    #: dead.
+    unreachable_endpoints: set = field(default_factory=set)
+    answered_endpoints: set = field(default_factory=set)
 
     @property
     def problems(self) -> int:
@@ -38,6 +48,15 @@ class Auditor:
     left entirely to the replicator -- the paper's two-process split.
     A replica that reappears intact (e.g. a server came back from a
     network partition) is marked ``ok`` again.
+
+    A server that cannot be *asked* yields an ``unreachable`` verdict,
+    which changes nothing in the database: absence of an answer is not
+    evidence of absence.  Marking such replicas ``missing`` would let
+    the repair pass drop acknowledged copies during an ordinary reboot
+    or drain -- with every replica's server briefly down, that is
+    silent data loss.  Unreachable servers are instead handled by the
+    keeper's suspect machinery (proactive extra copies on healthy
+    ground), and the replica is re-audited once the server answers.
 
     Three audit modes, cheapest last:
 
@@ -92,7 +111,15 @@ class Auditor:
             replicas = []
             for replica in record.get("replicas", []):
                 report.replicas_checked += 1
+                endpoint = (replica["host"], int(replica["port"]))
                 state = self._check(record, replica)
+                if state == "unreachable":
+                    # Inconclusive: leave the recorded state untouched.
+                    report.unreachable += 1
+                    report.unreachable_endpoints.add(endpoint)
+                    replicas.append(replica)
+                    continue
+                report.answered_endpoints.add(endpoint)
                 if state == "ok":
                     report.healthy += 1
                 elif state == "missing":
@@ -118,13 +145,15 @@ class Auditor:
         # Location-only audit: cheaper, catches deletion but not corruption.
         client = self.dsdb.pool.try_get(replica["host"], replica["port"])
         if client is None:
-            return "missing"
-        from repro.util.errors import ChirpError
+            return "unreachable"
+        from repro.util.errors import ChirpError, DoesNotExistError
 
         try:
             st = client.stat(replica["path"])
-        except ChirpError:
+        except DoesNotExistError:
             return "missing"
+        except ChirpError:
+            return "unreachable"
         return "ok" if st.size == record.get("size", st.size) else "damaged"
 
     def _check_key(self, record: dict, replica: dict) -> str:
@@ -139,7 +168,7 @@ class Auditor:
 
         client = self.dsdb.pool.try_get(replica["host"], replica["port"])
         if client is None:
-            return "missing"
+            return "unreachable"
         try:
             key = client.keyof(replica["path"])
         except InvalidRequestError:
@@ -153,6 +182,6 @@ class Auditor:
             # a corrupt pointer record, i.e. damage rather than absence.
             return "damaged"
         except ChirpError:
-            return "missing"
+            return "unreachable"
         expected = record.get("checksum")
         return "ok" if expected and key == expected else "damaged"

@@ -91,6 +91,12 @@ class KeeperConfig:
     :ivar audit_mode: explicit audit mode ("bytes", "key", "location");
         overrides ``verify_checksums`` when set.  "key" turns each
         replica check into an O(1) metadata comparison on CAS servers.
+    :ivar dead_after_passes: full scan passes a server must stay
+        unreachable before the keeper declares it dead and starts
+        treating its replicas as missing.  The hysteresis that separates
+        "rebooting" (no action beyond proactive copies) from "gone"
+        (drop and re-replicate); one inconclusive probe never costs a
+        replica.
     """
 
     state_dir: str
@@ -102,12 +108,15 @@ class KeeperConfig:
     tick_interval: float = 1.0
     verify_checksums: bool = True
     audit_mode: Optional[str] = None
+    dead_after_passes: int = 2
 
     def __post_init__(self):
         if self.scan_batch < 1:
             raise ValueError("scan_batch must be >= 1")
         if self.max_repairs_per_tick < 1:
             raise ValueError("max_repairs_per_tick must be >= 1")
+        if self.dead_after_passes < 1:
+            raise ValueError("dead_after_passes must be >= 1")
 
 
 class RateBudget:
@@ -236,12 +245,14 @@ class KeeperTick:
     scanned: int = 0
     missing: int = 0
     damaged: int = 0
+    unreachable: int = 0
     dropped: int = 0
     committed: int = 0
     aborted: int = 0
     proactive: int = 0
     wrapped: bool = False
     suspects: list = field(default_factory=list)
+    draining: list = field(default_factory=list)
     admitted: list = field(default_factory=list)
 
 
@@ -290,6 +301,19 @@ class Keeper:
         # clock); servers known before any listing get a grace stamp.
         self._last_seen: dict[tuple, float] = {}
         self.suspects: set[tuple] = set()
+        # Servers advertising graceful drain in their catalog report:
+        # alive (they refresh _last_seen) but about to go -- never a
+        # repair target, and replicas on them get proactive copies.
+        self.draining: set[tuple] = set()
+        # Dead-server hysteresis: endpoints that answered no audit probe
+        # accumulate one strike per *completed pass*; at
+        # config.dead_after_passes strikes the server is declared dead
+        # and its replicas become authoritatively missing.  One answered
+        # probe clears the strikes (and the declaration).
+        self._unreachable_streaks: dict[tuple, int] = {}
+        self._pass_unreachable: set[tuple] = set()
+        self._pass_answered: set[tuple] = set()
+        self.dead: set[tuple] = set()
         self._counters = {
             "ticks": 0,
             "passes_completed": 0,
@@ -297,7 +321,9 @@ class Keeper:
             "replicas_checked": 0,
             "missing": 0,
             "damaged": 0,
+            "unreachable": 0,
             "dropped": 0,
+            "journal_deferred": 0,
             "repairs_committed": 0,
             "repairs_aborted": 0,
             "proactive_copies": 0,
@@ -359,6 +385,11 @@ class Keeper:
         otherwise the copy (whole, torn, or absent) is unlinked
         best-effort, detached if attached, and the intent aborted.  The
         invariant either way: no half-written copy is ever counted live.
+
+        A destination that cannot be *asked* resolves nothing: the
+        intent stays in flight for a later pass, because dropping an
+        attached replica on an unreachable-but-healthy server would
+        manufacture data loss out of a network blip.
         """
         resolved = 0
         for entry in self.journal.in_flight():
@@ -370,6 +401,9 @@ class Keeper:
                 if record is not None
                 else "missing"
             )
+            if state == "unreachable":
+                self._counters["journal_deferred"] += 1
+                continue
             attached = record is not None and any(
                 (r["host"], r["port"], r["path"])
                 == (replica["host"], replica["port"], replica["path"])
@@ -423,11 +457,21 @@ class Keeper:
         if self.catalog is not None:
             reports = self.catalog.try_discover()
             if reports is not None:
+                draining = set()
                 for report in reports:
                     if report.type != "chirp":
                         continue
                     ep = (report.host, int(report.port))
                     self._last_seen[ep] = now
+                    # A fresh catalog report is proof of life: clear any
+                    # dead-server declaration.  Without this, a server
+                    # whose replicas were all dropped is never audited
+                    # again and would stay "dead" (and excluded as a
+                    # repair target) forever after it comes back.
+                    self._unreachable_streaks.pop(ep, None)
+                    self.dead.discard(ep)
+                    if getattr(report, "draining", False):
+                        draining.add(ep)
                     if ep not in known:
                         self.dsdb.add_server(*ep)
                         known.add(ep)
@@ -435,12 +479,17 @@ class Keeper:
                         if tick is not None:
                             tick.admitted.append(ep)
                         log.info("admitted new server %s:%d", *ep)
+                # Only a fresh listing updates the drain view; like the
+                # suspect set, it is never changed on a communication
+                # failure alone.
+                self.draining = draining
         lifetime = self.config.catalog_lifetime
         self.suspects = {
             ep for ep in known if now - self._last_seen[ep] > lifetime
         }
         if tick is not None:
             tick.suspects = sorted(self.suspects)
+            tick.draining = sorted(self.draining)
         return self.suspects
 
     # -- scrub ingestion ------------------------------------------------
@@ -496,21 +545,48 @@ class Keeper:
             tick.wrapped = True
             self._cursor = None
             self._counters["passes_completed"] += 1
+            self._fold_unreachable_pass()
             self._save_cursor()
             return tick
         self.scan_budget.charge(len(batch))
         report = self.auditor.audit_records(batch)
+        self._pass_unreachable |= report.unreachable_endpoints
+        self._pass_answered |= report.answered_endpoints
         tick.scanned = report.records
         tick.missing = report.missing
         tick.damaged = report.damaged
+        tick.unreachable = report.unreachable
         self._counters["records_scanned"] += report.records
         self._counters["replicas_checked"] += report.replicas_checked
         self._counters["missing"] += report.missing
         self._counters["damaged"] += report.damaged
+        self._counters["unreachable"] += report.unreachable
         self._cursor = batch[-1]["id"]
         self._save_cursor()
         self._repair(batch, tick)
         return tick
+
+    def _fold_unreachable_pass(self) -> None:
+        """End-of-pass bookkeeping for the dead-server hysteresis."""
+        for endpoint in self._pass_answered:
+            self._unreachable_streaks.pop(endpoint, None)
+        for endpoint in self._pass_unreachable - self._pass_answered:
+            self._unreachable_streaks[endpoint] = (
+                self._unreachable_streaks.get(endpoint, 0) + 1
+            )
+        dead = {
+            endpoint
+            for endpoint, strikes in self._unreachable_streaks.items()
+            if strikes >= self.config.dead_after_passes
+        }
+        for endpoint in sorted(dead - self.dead):
+            log.warning(
+                "server %s:%d unreachable for %d passes: declared dead",
+                endpoint[0], endpoint[1], self.config.dead_after_passes,
+            )
+        self.dead = dead
+        self._pass_unreachable = set()
+        self._pass_answered = set()
 
     def _repair(self, batch: list[dict], tick: KeeperTick) -> None:
         budget_left = self.config.max_repairs_per_tick
@@ -519,14 +595,29 @@ class Keeper:
             record = self.dsdb.get(stale["id"])
             if record is None:
                 continue
+            # Replicas on declared-dead servers become authoritatively
+            # missing -- the hysteresis already separated "gone" from
+            # "rebooting".
+            if self.dead:
+                for rep in list(record.get("replicas", [])):
+                    endpoint = (rep["host"], int(rep["port"]))
+                    if endpoint in self.dead and rep.get("state", "ok") == "ok":
+                        record = self.dsdb.mark_replica(record, rep, "missing")
             for bad in plan_drops(record):
+                # Last-copy guard: never forget the final pointer to the
+                # data.  A record with zero replicas is unrepairable, so
+                # a bad last copy stays in the record (and keeps being
+                # re-audited) until a repair restores redundancy or the
+                # server comes back intact.
+                if len(record.get("replicas", [])) <= 1:
+                    break
                 record = self.dsdb.drop_replica(record, bad)
                 tick.dropped += 1
                 self._counters["dropped"] += 1
         # Proactive drain: records in this batch with live copies on
-        # suspect servers get one extra copy on healthy ground now,
-        # before the suspects finish dying.
-        if self.suspects:
+        # suspect or draining servers get one extra copy on healthy
+        # ground now, before those servers finish dying.
+        if self.suspects or self.draining:
             for stale in batch:
                 if budget_left <= 0:
                     break
@@ -539,6 +630,11 @@ class Keeper:
         plan = self.replicator.policy.plan_additions(
             summaries, len(self.dsdb.servers)
         )
+        if plan:
+            log.info(
+                "repair plan: %d under-replicated records (avoid=%s)",
+                len(plan), sorted("%s:%d" % ep for ep in self._avoid()),
+            )
         for record_id in plan:
             if budget_left <= 0:
                 break
@@ -546,22 +642,27 @@ class Keeper:
             if record is None or not live_replicas(record):
                 continue
             target = self.replicator.choose_target(
-                record, avoid=frozenset(self.suspects)
+                record, avoid=self._avoid()
             )
             if target is None:
+                log.info("no repair target for record %s", record_id)
                 continue
             self._journaled_copy(record, target, tick)
             budget_left -= 1
 
+    def _avoid(self) -> frozenset:
+        """Endpoints repair must not target: suspect, draining or dead."""
+        return frozenset(self.suspects | self.draining | self.dead)
+
     def _proactive_copy(self, record: dict, tick: KeeperTick) -> bool:
-        """One extra copy off suspect ground; True when an attempt was made
-        (success or failure -- either way it consumed repair budget)."""
+        """One extra copy off suspect/draining ground; True when an attempt
+        was made (success or failure -- either way it consumed repair
+        budget)."""
+        doomed = self.suspects | self.draining | self.dead
         live = live_replicas(record)
-        if not any((r["host"], r["port"]) in self.suspects for r in live):
+        if not any((r["host"], r["port"]) in doomed for r in live):
             return False
-        target = self.replicator.choose_target(
-            record, avoid=frozenset(self.suspects)
-        )
+        target = self.replicator.choose_target(record, avoid=self._avoid())
         if target is None:
             return False
         if self._journaled_copy(record, target, tick):
@@ -598,8 +699,16 @@ class Keeper:
             self.replicator.note_target_failure(target)
             tick.aborted += 1
             self._counters["repairs_aborted"] += 1
+            log.info(
+                "repair of %s -> %s:%d aborted: %s",
+                record["id"], target[0], int(target[1]), exc,
+            )
             return False
         self.journal.commit(seq)
+        log.info(
+            "repair: record %s copied to %s:%d",
+            record["id"], target[0], int(target[1]),
+        )
         self.replicator.note_target_success(target)
         tick.committed += 1
         self._counters["repairs_committed"] += 1
@@ -615,6 +724,10 @@ class Keeper:
         snap["suspect_servers"] = sorted(
             "%s:%d" % ep for ep in self.suspects
         )
+        snap["draining_servers"] = sorted(
+            "%s:%d" % ep for ep in self.draining
+        )
+        snap["dead_servers"] = sorted("%s:%d" % ep for ep in self.dead)
         snap["scan_throttled_seconds"] = self.scan_budget.throttled_seconds
         snap["repair_throttled_seconds"] = self.repair_budget.throttled_seconds
         return snap

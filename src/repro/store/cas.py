@@ -353,12 +353,24 @@ class CasStore(BlobStore):
                 fh.flush()
                 os.fsync(fh.fileno())
             return
-        tmp = real + ".tmp"
-        with open(tmp, "wb") as fh:
-            fh.write(data)
-            fh.flush()
-            os.fsync(fh.fileno())
-        os.replace(tmp, real)
+        # Stage through tmp_root, not next to the pointer: a crashed
+        # predecessor's staging files must be sweepable by the boot
+        # janitor, and only tmp_root is wholly store-owned -- an
+        # ns-plane ``<name>.tmp`` could be a legitimate pointer for a
+        # client file literally named ``<name>.tmp``.
+        fd, tmp = tempfile.mkstemp(dir=self.tmp_root)
+        try:
+            with os.fdopen(fd, "wb") as fh:
+                fh.write(data)
+                fh.flush()
+                os.fsync(fh.fileno())
+            os.replace(tmp, real)
+        except OSError:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
 
     # -- object plane ---------------------------------------------------
 
@@ -628,6 +640,27 @@ class CasStore(BlobStore):
     def capacity(self) -> tuple[int, int]:
         vfs = os.statvfs(self.root)
         return (vfs.f_blocks * vfs.f_frsize, vfs.f_bavail * vfs.f_frsize)
+
+    # -- crash recovery -------------------------------------------------
+
+    def janitor(self) -> int:
+        """Empty ``tmp/``: ingest temps, spooled uploads, pointer staging.
+
+        Everything under ``tmp_root`` is store-private scratch -- ingest
+        stages objects there, write handles spill their payloads there,
+        and pointer rewrites stage there -- and all of it is garbage the
+        moment no operation is running, which is exactly when the boot
+        janitor runs.  Returns the number of files removed.
+        """
+        removed = 0
+        with self._lock:
+            for name in os.listdir(self.tmp_root):
+                try:
+                    os.unlink(os.path.join(self.tmp_root, name))
+                except OSError:
+                    continue
+                removed += 1
+        return removed
 
     # -- content-addressed surface --------------------------------------
 

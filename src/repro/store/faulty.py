@@ -402,6 +402,12 @@ class FaultyStore(BlobStore):
     def reconcile_usage(self) -> int:
         return self.inner.reconcile_usage()
 
+    def janitor(self) -> int:
+        # Explicit: the BlobStore default (0) would otherwise shadow the
+        # wrapped store's sweep, since __getattr__ only fires for
+        # attributes the class does not define.
+        return self.inner.janitor()
+
     def lookup_key(self, key: str) -> bool:
         return self.inner.lookup_key(key)
 

@@ -243,6 +243,19 @@ class BlobStore(ABC):
         """
         return self.used_bytes()
 
+    def janitor(self) -> int:
+        """Sweep staging files a crashed predecessor left behind.
+
+        Stores that stage writes through private temporary files (CAS
+        spool/ingest temps, LocalDirStore rename staging) override this;
+        a SIGKILL mid-write orphans those files forever otherwise.  Only
+        wholly store-owned staging locations may be swept -- never
+        client-visible namespace entries.  Returns the number of files
+        removed.  Called by the server once at boot, before the
+        listener opens.
+        """
+        return 0
+
     # -- content-addressed surface (CAS stores only) --------------------
 
     def lookup_key(self, key: str) -> bool:

@@ -31,7 +31,13 @@ from repro.util.errors import (
 )
 from repro.util.paths import PathEscapeError, confine
 
-__all__ = ["LocalDirStore"]
+__all__ = ["LocalDirStore", "STAGING_PREFIX"]
+
+#: Reserved basename prefix for write_blob staging files.  The prefix
+#: must be distinctive: a plain ``<name>.tmp`` convention would make the
+#: boot janitor delete legitimate client files that happen to be named
+#: ``*.tmp``, whereas nothing legitimate starts with this marker.
+STAGING_PREFIX = ".tss-tmp."
 
 
 def _wrap_os_error(exc: OSError, path: str = "") -> Exception:
@@ -320,7 +326,9 @@ class LocalDirStore(BlobStore):
         """
         real = self._real(vpath)
         before = self._size_if_file(real) if self.tracking_usage else 0
-        tmp = real + ".tmp"
+        tmp = os.path.join(
+            os.path.dirname(real), STAGING_PREFIX + os.path.basename(real)
+        )
         try:
             with open(tmp, "wb") as fh:
                 fh.write(data)
@@ -331,3 +339,28 @@ class LocalDirStore(BlobStore):
             raise _wrap_os_error(exc, vpath) from exc
         if self.tracking_usage:
             self._account(len(data) - before)
+
+    # -- crash recovery -------------------------------------------------
+
+    def janitor(self) -> int:
+        """Remove orphaned ``write_blob`` staging files across the tree.
+
+        Only basenames carrying :data:`STAGING_PREFIX` are touched;
+        every other name is client data and sacred.  A staging file
+        observed here is guaranteed orphaned: live ones exist only
+        inside a ``write_blob`` call, and the janitor runs before the
+        server accepts connections.
+        """
+        removed = 0
+        for dirpath, _dirnames, filenames in os.walk(self.root):
+            for name in filenames:
+                if not name.startswith(STAGING_PREFIX):
+                    continue
+                try:
+                    os.unlink(os.path.join(dirpath, name))
+                except OSError:
+                    continue
+                removed += 1
+        if removed:
+            self._invalidate_usage()
+        return removed

@@ -24,7 +24,7 @@ from typing import Callable, Optional, TypeVar
 
 from repro.transport.deadline import Deadline
 from repro.util.clock import Clock, MonotonicClock
-from repro.util.errors import DisconnectedError, TimedOutError
+from repro.util.errors import BusyError, DisconnectedError, TimedOutError
 
 __all__ = ["RetryPolicy"]
 
@@ -96,12 +96,22 @@ class RetryPolicy:
         remaining budget, and a spent budget raises
         :class:`TimedOutError` (chained from the original failure)
         instead of sleeping past it.
+
+        A :class:`BusyError` -- the server shedding load or draining --
+        is also retried, but as *server-driven* backoff: the sleep is
+        the refusal's ``retry_after`` hint when it carries one (capped
+        at ``max_delay``), ``recover`` is **not** called (the connection
+        is healthy; the server just refused the work), and the breaker
+        never moves because nothing here records transport failure.
         """
         delays = self.delays()
         original: Optional[DisconnectedError] = None
         while True:
+            busy: Optional[BusyError] = None
             try:
                 return operation()
+            except BusyError as exc:
+                busy = exc
             except DisconnectedError as exc:
                 if original is None:
                     original = exc
@@ -125,3 +135,18 @@ class RetryPolicy:
                     # Server still down: burn another attempt and keep
                     # backing off rather than calling operation() doomed.
                     continue
+                continue
+            # BUSY path: honor the server's hint, skip recover().
+            delay = next(delays, None)
+            if delay is None:
+                raise busy
+            if busy.retry_after_s is not None:
+                delay = min(busy.retry_after_s, self.max_delay)
+            if deadline is not None:
+                remaining = deadline.remaining()
+                if remaining <= 0:
+                    raise TimedOutError(
+                        f"retry budget of {deadline.budget:g}s exhausted"
+                    ) from busy
+                delay = min(delay, remaining)
+            self.clock.sleep(delay)

@@ -41,6 +41,8 @@ __all__ = [
     "UnknownError",
     "status_from_exception",
     "error_from_status",
+    "busy_message",
+    "parse_retry_after",
 ]
 
 
@@ -126,7 +128,23 @@ class TooManyOpenError(ChirpError):
 
 
 class BusyError(ChirpError):
+    """The server refused the work because it is saturated or draining.
+
+    Unlike every other refusal this one is *server-driven backoff*: the
+    message may carry a ``retry_after_ms=<int>`` token (see
+    :func:`busy_message`), surfaced here as ``retry_after_s``.  Clients
+    honor the hint instead of their own backoff schedule, and a BUSY
+    refusal never moves the circuit breaker -- a shedding server is the
+    server *working*, not the transport failing.
+    """
+
     status = StatusCode.BUSY
+
+    def __init__(self, message: str = "", retry_after_s: "float | None" = None):
+        super().__init__(message)
+        if retry_after_s is None:
+            retry_after_s = parse_retry_after(message)
+        self.retry_after_s = retry_after_s
 
 
 class TryAgainError(ChirpError):
@@ -308,6 +326,32 @@ _STATUS_TO_ERRNO = {
     StatusCode.STALE: errno.ESTALE,
     StatusCode.UNKNOWN: errno.EIO,
 }
+
+
+def busy_message(retry_after_ms: int, reason: str = "") -> str:
+    """Format the message token of a ``BUSY`` refusal.
+
+    The whole message is one percent-escaped wire token, so the hint is
+    embedded as ``retry_after_ms=<int>`` where :func:`parse_retry_after`
+    can recover it on the client side.
+    """
+    hint = f"retry_after_ms={max(0, int(retry_after_ms))}"
+    return f"{reason} {hint}" if reason else hint
+
+
+def parse_retry_after(message: str) -> float | None:
+    """Extract the ``retry_after_ms=<int>`` hint from a refusal message.
+
+    Returns the hint in *seconds*, or ``None`` when the message carries
+    none (an old server, or a BUSY produced from a host ``EBUSY``).
+    """
+    for word in message.split():
+        if word.startswith("retry_after_ms="):
+            try:
+                return max(0, int(word.partition("=")[2])) / 1000.0
+            except ValueError:
+                return None
+    return None
 
 
 def status_from_exception(exc: BaseException) -> StatusCode:

@@ -1,0 +1,52 @@
+"""Graceful-stop signal handling shared by the daemon entry points.
+
+Every long-running process (file server, catalog, keeper, database)
+wants the same discipline:
+
+- the first SIGTERM/SIGINT requests a *graceful* stop -- the handler
+  sets an event the main thread is waiting on, which returns
+  immediately (CPython runs signal handlers on the main thread, so the
+  ``Event.wait`` is interrupted rather than riding out its timeout);
+- a repeated signal means the operator is done waiting: escalate to
+  ``os._exit`` so a wedged drain can never hold the process hostage.
+
+The daemons' worker loops are woken by their ``stop()`` methods closing
+the listening socket, which bounds total shutdown latency to one accept
+poll tick rather than a full poll interval.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import threading
+
+__all__ = ["GracefulSignals"]
+
+
+class GracefulSignals:
+    """Install handlers that stop gracefully once, forcefully twice."""
+
+    def __init__(self, escalate_status: int = 1):
+        self.stop = threading.Event()
+        self.escalate_status = escalate_status
+        self._hits = 0
+
+    def install(self) -> "GracefulSignals":
+        signal.signal(signal.SIGINT, self._handle)
+        signal.signal(signal.SIGTERM, self._handle)
+        return self
+
+    def _handle(self, signum, frame) -> None:
+        self._hits += 1
+        if self._hits > 1:
+            # Second signal: the graceful path is taking too long (or is
+            # stuck).  _exit skips atexit/finally machinery on purpose --
+            # anything durable was already made durable by the first
+            # pass, and the operator asked twice.
+            os._exit(self.escalate_status)
+        self.stop.set()
+
+    def wait(self) -> None:
+        """Block the main thread until the first stop signal."""
+        self.stop.wait()

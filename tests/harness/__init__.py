@@ -1,0 +1,1 @@
+"""Process-level chaos harness: real daemons, scripted signals."""

@@ -1,0 +1,279 @@
+"""Lifecycle and overload semantics of a live file server.
+
+Covers the admission-control / graceful-drain surface end to end on
+loopback:
+
+- a connection flood against ``max_conns`` is shed with protocol-level
+  ``BUSY`` lines while established sessions stay responsive;
+- a per-subject in-flight cap refuses with ``BUSY`` + retry-after, the
+  client honors the hint, and the circuit breaker never moves (a
+  shedding server is the server *working*);
+- ``drain()`` finishes acknowledged in-flight work, advertises itself,
+  refuses new connections with the remaining drain window as the hint,
+  and the written data survives a server restart;
+- the boot janitor sweeps store staging orphans a crashed predecessor
+  left behind, without touching client data.
+"""
+
+from __future__ import annotations
+
+import os
+import socket
+import threading
+import time
+
+import pytest
+
+from repro.chirp.client import ChirpClient
+from repro.chirp.server import FileServer, ServerConfig
+from repro.util.errors import BusyError, StatusCode
+
+HOST = "127.0.0.1"
+
+
+def _run_in_thread(fn, *args, **kwargs):
+    box = {}
+
+    def runner():
+        try:
+            box["value"] = fn(*args, **kwargs)
+        except BaseException as exc:  # noqa: BLE001 - surfaced via result()
+            box["error"] = exc
+
+    t = threading.Thread(target=runner, daemon=True)
+    t.start()
+
+    class Handle:
+        @staticmethod
+        def result(timeout=15.0):
+            t.join(timeout)
+            if t.is_alive():
+                raise TimeoutError("thread did not finish")
+            if "error" in box:
+                raise box["error"]
+            return box.get("value")
+
+    return Handle()
+
+
+def _wait_for(predicate, timeout=5.0, interval=0.01):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(interval)
+    return predicate()
+
+
+class _GatedSource:
+    """A file-like payload source that stalls mid-stream until released.
+
+    The first read hands out a prefix (so the server has admitted and
+    started the request), then blocks on the gate before the rest --
+    holding the request in flight for as long as the test needs.
+    """
+
+    def __init__(self, payload: bytes, gate: threading.Event, split: int = 512):
+        self._chunks = [payload[:split], payload[split:]]
+        self.gate = gate
+        self.started = threading.Event()
+
+    def read(self, n: int = -1) -> bytes:
+        if self._chunks:
+            if len(self._chunks) == 1:
+                assert self.gate.wait(15.0), "test never released the gate"
+            chunk = self._chunks.pop(0)
+            self.started.set()
+            return chunk
+        return b""
+
+
+class TestConnectionFlood:
+    def test_flood_is_shed_and_server_stays_responsive(
+        self, server_factory, credentials
+    ):
+        server = server_factory.new(max_conns=64, busy_retry_ms=50)
+        client = ChirpClient(*server.address, credentials=credentials, timeout=10.0)
+        try:
+            client.stat("/")  # established session, before the flood
+            socks = []
+            try:
+                for _ in range(500):
+                    s = socket.create_connection(server.address, timeout=5.0)
+                    socks.append(s)
+                # The accept loop sheds everything past the cap inline
+                # (no worker thread, no auth); admitted sockets just sit
+                # in their workers waiting for an auth line that never
+                # comes.
+                assert _wait_for(
+                    lambda: server.shed_connections >= 500 - 64, timeout=15.0
+                ), f"only {server.shed_connections} refusals"
+                snap = server.snapshot()
+                assert snap["connections"] <= 64
+                # One shed socket, read back: a single BUSY status line
+                # with the retry-after hint, then EOF.
+                refused = None
+                for s in socks:
+                    s.settimeout(0.05)
+                    try:
+                        data = s.recv(4096)
+                    except (socket.timeout, OSError):
+                        continue
+                    if data:
+                        refused = data
+                        break
+                assert refused is not None, "no refusal line found on any socket"
+                tokens = refused.decode().split()
+                assert int(tokens[0]) == int(StatusCode.BUSY)
+                # The reason+hint ride in one percent-escaped message token.
+                assert "retry_after_ms=" in refused.decode()
+                # The flood cost the server nothing it can't afford: the
+                # pre-flood session still answers.
+                client.stat("/")
+            finally:
+                for s in socks:
+                    try:
+                        s.close()
+                    except OSError:
+                        pass
+        finally:
+            client.close()
+
+
+class TestSubjectInflightCap:
+    def test_busy_retry_after_honored_without_breaker_trip(
+        self, server_factory, pool
+    ):
+        server = server_factory.new(
+            max_inflight_per_subject=1, busy_retry_ms=25
+        )
+        client = pool.get(*server.address)
+        gate = threading.Event()
+        source = _GatedSource(b"x" * 2048, gate)
+        put = _run_in_thread(client.putfile, "/held", source, length=2048)
+        assert source.started.wait(5.0)
+        assert _wait_for(lambda: server.snapshot()["in_flight"] == 1)
+        # Release the held request as soon as the server sheds the
+        # second one; the client sleeps the 25 ms hint and retries into
+        # a free slot.
+        releaser = _run_in_thread(
+            lambda: (_wait_for(lambda: server.shed_requests >= 1), gate.set())
+        )
+        st = client.stat("/")
+        assert st is not None
+        releaser.result()
+        assert put.result() == 2048
+        assert server.shed_requests >= 1
+        # A BUSY refusal is the server working: the breaker never moved.
+        health = pool.health.for_endpoint(*server.address)
+        assert not health.is_open
+        assert health.state == "closed"
+
+
+class TestGracefulDrain:
+    def test_drain_finishes_inflight_refuses_new_and_survives_restart(
+        self, tmp_path, auth_context, owner_subject, credentials
+    ):
+        root = tmp_path / "drainroot"
+        root.mkdir()
+        config = ServerConfig(
+            root=str(root),
+            owner=owner_subject,
+            auth=auth_context,
+            store="local",
+            drain_timeout=10.0,
+        )
+        server = FileServer(config).start()
+        client = ChirpClient(*server.address, credentials=credentials, timeout=10.0)
+        payload = os.urandom(4096)
+        gate = threading.Event()
+        source = _GatedSource(payload, gate)
+        try:
+            put = _run_in_thread(client.putfile, "/acked", source, length=len(payload))
+            assert source.started.wait(5.0)
+            assert _wait_for(lambda: server.snapshot()["in_flight"] == 1)
+
+            drain = _run_in_thread(server.drain)
+            assert _wait_for(lambda: server.draining)
+            assert server.build_report()["draining"] is True
+
+            # A new connection is refused at the door with the remaining
+            # drain window as its retry-after hint.
+            with pytest.raises(BusyError) as refusal:
+                ChirpClient(*server.address, credentials=credentials, timeout=5.0)
+            assert refusal.value.retry_after_s is not None
+            assert refusal.value.retry_after_s > 0
+
+            # The in-flight write completes: drain never drops an
+            # admitted operation.
+            gate.set()
+            assert put.result() == len(payload)
+            assert drain.result() is True
+        finally:
+            client.close()
+            server.stop()
+
+        # The drained write is durable: a fresh server over the same
+        # root serves the bytes back.
+        reborn = FileServer(ServerConfig(
+            root=str(root),
+            owner=owner_subject,
+            auth=auth_context,
+            store="local",
+        )).start()
+        try:
+            fresh = ChirpClient(*reborn.address, credentials=credentials, timeout=10.0)
+            try:
+                assert fresh.getfile("/acked") == payload
+            finally:
+                fresh.close()
+        finally:
+            reborn.stop()
+
+    def test_drain_with_no_inflight_returns_immediately(self, server_factory):
+        server = server_factory.new()
+        t0 = time.monotonic()
+        assert server.drain(timeout=5.0) is True
+        assert time.monotonic() - t0 < 2.0
+        assert server.draining
+
+
+class TestBootJanitor:
+    def test_local_store_sweeps_staging_orphans(
+        self, tmp_path, auth_context, owner_subject
+    ):
+        from repro.store.localdir import STAGING_PREFIX
+
+        root = tmp_path / "jroot"
+        root.mkdir()
+        (root / "keep.txt").write_bytes(b"client data")
+        (root / (STAGING_PREFIX + "orphan1")).write_bytes(b"junk")
+        sub = root / "dir"
+        sub.mkdir()
+        (sub / (STAGING_PREFIX + "orphan2")).write_bytes(b"more junk")
+        server = FileServer(ServerConfig(
+            root=str(root), owner=owner_subject, auth=auth_context, store="local"
+        )).start()
+        try:
+            assert server.janitor_swept == 2
+            assert server.snapshot()["janitor_swept"] == 2
+            assert not (root / (STAGING_PREFIX + "orphan1")).exists()
+            assert not (sub / (STAGING_PREFIX + "orphan2")).exists()
+            assert (root / "keep.txt").read_bytes() == b"client data"
+        finally:
+            server.stop()
+
+    def test_cas_store_sweeps_tmp_orphans(
+        self, tmp_path, auth_context, owner_subject
+    ):
+        root = tmp_path / "casroot"
+        (root / "tmp").mkdir(parents=True)
+        (root / "tmp" / "spool-leftover").write_bytes(b"crashed upload")
+        server = FileServer(ServerConfig(
+            root=str(root), owner=owner_subject, auth=auth_context, store="cas"
+        )).start()
+        try:
+            assert server.janitor_swept == 1
+            assert not (root / "tmp" / "spool-leftover").exists()
+        finally:
+            server.stop()

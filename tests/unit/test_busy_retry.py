@@ -1,0 +1,124 @@
+"""Unit tests for BUSY refusal plumbing: hint encoding, BusyError, and
+the RetryPolicy's server-driven backoff path.
+
+Everything runs on a :class:`ManualClock`; the invariants under test
+are the lifecycle contract's client half: a BUSY refusal is retried
+after the server's ``retry_after_ms`` hint, ``recover()`` is never
+called for it (the connection is healthy), and exhaustion surfaces the
+refusal itself rather than a transport error.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.transport.recovery import Deadline, RetryPolicy
+from repro.util.clock import ManualClock
+from repro.util.errors import (
+    BusyError,
+    DisconnectedError,
+    TimedOutError,
+    busy_message,
+    parse_retry_after,
+)
+
+
+class TestBusyMessageRoundTrip:
+    def test_hint_round_trips(self):
+        assert parse_retry_after(busy_message(250)) == 0.25
+        assert parse_retry_after(busy_message(0)) == 0.0
+        assert parse_retry_after(busy_message(1500, "draining")) == 1.5
+
+    def test_reason_is_preserved(self):
+        msg = busy_message(40, "server at max-conns")
+        assert msg.startswith("server at max-conns ")
+        assert parse_retry_after(msg) == 0.04
+
+    def test_negative_hint_clamped(self):
+        assert parse_retry_after(busy_message(-5)) == 0.0
+
+    def test_absent_hint_is_none(self):
+        assert parse_retry_after("just busy") is None
+        assert parse_retry_after("") is None
+        assert parse_retry_after("retry_after_ms=notanint") is None
+
+
+class TestBusyError:
+    def test_parses_hint_from_message(self):
+        exc = BusyError(busy_message(300, "draining"))
+        assert exc.retry_after_s == 0.3
+
+    def test_explicit_hint_wins(self):
+        exc = BusyError("whatever", retry_after_s=1.25)
+        assert exc.retry_after_s == 1.25
+
+    def test_no_hint(self):
+        assert BusyError("host EBUSY").retry_after_s is None
+
+
+class _Flaky:
+    """An operation that fails a scripted number of times, then succeeds."""
+
+    def __init__(self, failures):
+        self.failures = list(failures)
+        self.calls = 0
+
+    def __call__(self):
+        self.calls += 1
+        if self.failures:
+            raise self.failures.pop(0)
+        return "done"
+
+
+class TestRetryPolicyBusyPath:
+    def _policy(self, **kwargs):
+        clock = ManualClock()
+        kwargs.setdefault("max_attempts", 4)
+        kwargs.setdefault("initial_delay", 1.0)
+        kwargs.setdefault("multiplier", 2.0)
+        return RetryPolicy(clock=clock, **kwargs), clock
+
+    def test_busy_sleeps_the_hint_and_skips_recover(self):
+        policy, clock = self._policy()
+        op = _Flaky([BusyError(busy_message(100)), BusyError(busy_message(100))])
+        recoveries = []
+        result = policy.run(op, lambda: recoveries.append(1))
+        assert result == "done"
+        assert op.calls == 3
+        assert recoveries == []  # the connection was healthy throughout
+        # Two sleeps of the 0.1 s hint, not the 1 s/2 s schedule.
+        assert clock.now() == pytest.approx(0.2)
+
+    def test_busy_without_hint_uses_policy_schedule(self):
+        policy, clock = self._policy()
+        op = _Flaky([BusyError("busy"), BusyError("busy")])
+        assert policy.run(op, lambda: None) == "done"
+        assert clock.now() == pytest.approx(1.0 + 2.0)
+
+    def test_hint_capped_at_max_delay(self):
+        policy, clock = self._policy(max_delay=0.5)
+        op = _Flaky([BusyError(busy_message(60_000))])
+        assert policy.run(op, lambda: None) == "done"
+        assert clock.now() == pytest.approx(0.5)
+
+    def test_exhaustion_raises_the_refusal(self):
+        policy, clock = self._policy(max_attempts=3)
+        op = _Flaky([BusyError(busy_message(50)) for _ in range(10)])
+        with pytest.raises(BusyError):
+            policy.run(op, lambda: None)
+        assert op.calls == 3  # max_attempts includes the first try
+
+    def test_deadline_clamps_busy_backoff(self):
+        policy, clock = self._policy()
+        op = _Flaky([BusyError(busy_message(10_000)) for _ in range(10)])
+        deadline = Deadline(0.0, clock=clock)
+        with pytest.raises(TimedOutError):
+            policy.run(op, lambda: None, deadline=deadline)
+
+    def test_disconnect_still_recovers(self):
+        # The BUSY path must not have broken the classic disconnect path.
+        policy, clock = self._policy()
+        op = _Flaky([DisconnectedError("gone")])
+        recoveries = []
+        assert policy.run(op, lambda: recoveries.append(1)) == "done"
+        assert recoveries == [1]

@@ -300,3 +300,136 @@ class TestConfigValidation:
     def test_state_dir_is_created(self, tmp_path):
         keeper = make_keeper(tmp_path, [("a", 1)])
         assert os.path.isdir(os.path.dirname(keeper._cursor_path))
+
+
+class TestDeadServerHysteresis:
+    """Unreachable != dead: only consecutive full passes declare death."""
+
+    def _fold(self, keeper, unreachable=(), answered=()):
+        keeper._pass_unreachable |= set(unreachable)
+        keeper._pass_answered |= set(answered)
+        keeper._fold_unreachable_pass()
+
+    def test_one_unreachable_pass_is_not_dead(self, tmp_path):
+        keeper = make_keeper(tmp_path, [("a", 1), ("b", 2)])
+        self._fold(keeper, unreachable=[("b", 2)], answered=[("a", 1)])
+        assert keeper.dead == set()
+
+    def test_consecutive_passes_declare_dead(self, tmp_path):
+        keeper = make_keeper(tmp_path, [("a", 1), ("b", 2)])
+        self._fold(keeper, unreachable=[("b", 2)], answered=[("a", 1)])
+        self._fold(keeper, unreachable=[("b", 2)], answered=[("a", 1)])
+        assert keeper.dead == {("b", 2)}
+        assert ("b", 2) in keeper._avoid()
+
+    def test_an_answer_resets_the_streak(self, tmp_path):
+        keeper = make_keeper(tmp_path, [("a", 1), ("b", 2)])
+        self._fold(keeper, unreachable=[("b", 2)])
+        self._fold(keeper, answered=[("b", 2)])  # came back mid-count
+        self._fold(keeper, unreachable=[("b", 2)])
+        assert keeper.dead == set()
+
+    def test_answer_in_same_pass_outranks_unreachable(self, tmp_path):
+        # One timed-out probe plus one authoritative answer in a single
+        # pass means the server is alive.
+        keeper = make_keeper(tmp_path, [("a", 1), ("b", 2)])
+        for _ in range(3):
+            self._fold(keeper, unreachable=[("b", 2)], answered=[("b", 2)])
+        assert keeper.dead == set()
+
+    def test_fresh_catalog_report_is_proof_of_life(self, tmp_path):
+        catalog = FakeCatalog()
+        keeper = make_keeper(tmp_path, [("a", 1), ("b", 2)], catalog=catalog)
+        self._fold(keeper, unreachable=[("b", 2)])
+        self._fold(keeper, unreachable=[("b", 2)])
+        assert keeper.dead == {("b", 2)}
+        catalog.reports = [FakeCatalog.report("b", 2)]
+        keeper.refresh_membership()
+        assert keeper.dead == set()
+        assert ("b", 2) not in keeper._unreachable_streaks
+
+    def test_config_rejects_bad_threshold(self, tmp_path):
+        with pytest.raises(ValueError):
+            KeeperConfig(state_dir=str(tmp_path), dead_after_passes=0)
+
+    def test_configurable_patience(self, tmp_path):
+        keeper = make_keeper(tmp_path, [("a", 1), ("b", 2)], dead_after_passes=3)
+        self._fold(keeper, unreachable=[("b", 2)])
+        self._fold(keeper, unreachable=[("b", 2)])
+        assert keeper.dead == set()
+        self._fold(keeper, unreachable=[("b", 2)])
+        assert keeper.dead == {("b", 2)}
+
+
+class _AuditDB:
+    def __init__(self):
+        self.updates = []
+
+    def update(self, rid, fields):
+        self.updates.append((rid, dict(fields)))
+        return {"id": rid, **fields}
+
+
+class _AuditDSDB:
+    """Scripted verify_replica verdicts keyed by endpoint."""
+
+    def __init__(self, verdicts):
+        self.verdicts = verdicts
+        self.db = _AuditDB()
+        self.pool = FakePool()
+
+    def verify_replica(self, record, replica):
+        return self.verdicts[(replica["host"], int(replica["port"]))]
+
+
+def _audit_record(*endpoints):
+    return {
+        "id": "r1",
+        "replicas": [
+            {"host": h, "port": p, "path": "/d/x", "state": s}
+            for h, p, s in endpoints
+        ],
+    }
+
+
+class TestAuditorUnreachableSemantics:
+    """Absence of an answer is not evidence of absence."""
+
+    def _audit(self, verdicts, record):
+        from repro.gems.auditor import Auditor
+
+        dsdb = _AuditDSDB(verdicts)
+        auditor = Auditor(dsdb, mode="bytes")
+        return auditor.audit_records([record]), dsdb
+
+    def test_unreachable_leaves_state_untouched(self):
+        report, dsdb = self._audit(
+            {("a", 1): "ok", ("b", 2): "unreachable"},
+            _audit_record(("a", 1, "ok"), ("b", 2, "ok")),
+        )
+        assert report.unreachable == 1
+        assert report.missing == 0
+        assert dsdb.db.updates == []  # nothing written on an inconclusive probe
+        assert report.unreachable_endpoints == {("b", 2)}
+        assert report.answered_endpoints == {("a", 1)}
+
+    def test_missing_is_authoritative_and_recorded(self):
+        report, dsdb = self._audit(
+            {("a", 1): "ok", ("b", 2): "missing"},
+            _audit_record(("a", 1, "ok"), ("b", 2, "ok")),
+        )
+        assert report.missing == 1
+        [(rid, fields)] = dsdb.db.updates
+        states = {(r["host"], r["port"]): r["state"] for r in fields["replicas"]}
+        assert states[("b", 2)] == "missing"
+        assert states[("a", 1)] == "ok"
+
+    def test_fully_unreachable_record_is_not_lost(self):
+        # Every server down (a reboot wave) must not read as data loss.
+        report, dsdb = self._audit(
+            {("a", 1): "unreachable", ("b", 2): "unreachable"},
+            _audit_record(("a", 1, "ok"), ("b", 2, "ok")),
+        )
+        assert report.lost_records == []
+        assert report.unreachable == 2
+        assert dsdb.db.updates == []
